@@ -1,0 +1,82 @@
+package quasispecies
+
+import (
+	"fmt"
+
+	"repro/internal/resolution"
+)
+
+// Multi-resolution analysis of solved distributions — the "concentrations
+// at various resolution levels" direction from the paper's conclusions.
+
+// SequenceConcentration pairs a sequence with its stationary concentration.
+type SequenceConcentration struct {
+	Sequence      uint64
+	Concentration float64
+}
+
+// TopSequences returns the k most concentrated sequences of the solution
+// in descending order. It requires a materialized concentration vector
+// (always present except for reduced solves of very long chains).
+func (s *Solution) TopSequences(k int) ([]SequenceConcentration, error) {
+	if s.Concentrations == nil {
+		return nil, fmt.Errorf("%w: no materialized concentrations (long-chain reduced solve); "+
+			"use Gamma for class-level information", ErrInvalidModel)
+	}
+	top := resolution.TopK(s.Concentrations, k)
+	out := make([]SequenceConcentration, len(top))
+	for i, e := range top {
+		out[i] = SequenceConcentration{Sequence: e.Sequence, Concentration: e.Concentration}
+	}
+	return out, nil
+}
+
+// PositionAnalysis summarizes the solution position by position.
+type PositionAnalysis struct {
+	// MutationProbability[k] is P(position k differs from the master) in
+	// the stationary population.
+	MutationProbability []float64
+	// Covariance[j][k] is Cov(position j mutated, position k mutated):
+	// positive values indicate linked positions.
+	Covariance [][]float64
+	// Consensus is the per-position majority sequence; below the error
+	// threshold it recovers the master sequence.
+	Consensus uint64
+}
+
+// AnalyzePositions computes per-position marginals, pairwise covariances
+// and the consensus sequence from the solution, using one Walsh–Hadamard
+// transform of the distribution (Θ(N·log₂N)).
+func (s *Solution) AnalyzePositions() (*PositionAnalysis, error) {
+	if s.Concentrations == nil {
+		return nil, fmt.Errorf("%w: no materialized concentrations", ErrInvalidModel)
+	}
+	m, err := resolution.WalshMoments(s.Concentrations)
+	if err != nil {
+		return nil, err
+	}
+	pa := &PositionAnalysis{MutationProbability: m.P1}
+	pa.Covariance = make([][]float64, m.Nu)
+	for j := 0; j < m.Nu; j++ {
+		pa.Covariance[j] = make([]float64, m.Nu)
+		for k := 0; k < m.Nu; k++ {
+			pa.Covariance[j][k] = m.Covariance(j, k)
+		}
+	}
+	for k, p := range m.P1 {
+		if p > 0.5 {
+			pa.Consensus |= 1 << uint(k)
+		}
+	}
+	return pa, nil
+}
+
+// CoarseDistribution aggregates the solution over blocks of 2^level
+// consecutive sequences — the hierarchical resolution pyramid. Level 0 is
+// the full distribution; level ν is the total mass 1.
+func (s *Solution) CoarseDistribution(level int) ([]float64, error) {
+	if s.Concentrations == nil {
+		return nil, fmt.Errorf("%w: no materialized concentrations", ErrInvalidModel)
+	}
+	return resolution.Coarsen(s.Concentrations, level)
+}

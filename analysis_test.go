@@ -1,0 +1,168 @@
+package quasispecies
+
+import (
+	"math"
+	"testing"
+)
+
+func solvedSinglePeak(t *testing.T, nu int, p float64) *Solution {
+	t.Helper()
+	mut, err := UniformMutation(nu, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := SinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := New(mut, land)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestTopSequences(t *testing.T) {
+	sol := solvedSinglePeak(t, 10, 0.01)
+	top, err := sol.TopSequences(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d entries", len(top))
+	}
+	if top[0].Sequence != 0 {
+		t.Errorf("most concentrated sequence is %d, want the master", top[0].Sequence)
+	}
+	if top[0].Concentration <= top[1].Concentration {
+		t.Error("not descending")
+	}
+	// Positions 2 and 3 must be single mutants (weight 1) by symmetry.
+	for _, e := range top[1:] {
+		w := 0
+		for b := e.Sequence; b != 0; b &= b - 1 {
+			w++
+		}
+		if w != 1 {
+			t.Errorf("runner-up %b has weight %d, want 1", e.Sequence, w)
+		}
+	}
+}
+
+func TestAnalyzePositions(t *testing.T) {
+	sol := solvedSinglePeak(t, 10, 0.01)
+	pa, err := sol.AnalyzePositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.MutationProbability) != 10 {
+		t.Fatalf("got %d marginals", len(pa.MutationProbability))
+	}
+	// Exchangeable positions on the single peak: identical marginals.
+	for k := 1; k < 10; k++ {
+		if math.Abs(pa.MutationProbability[k]-pa.MutationProbability[0]) > 1e-9 {
+			t.Errorf("marginals differ across positions: %v", pa.MutationProbability)
+		}
+	}
+	if pa.Consensus != 0 {
+		t.Errorf("consensus %b, want the master sequence below threshold", pa.Consensus)
+	}
+	// Covariance matrix is symmetric with the marginal variance on the
+	// diagonal.
+	for j := 0; j < 10; j++ {
+		p := pa.MutationProbability[j]
+		if math.Abs(pa.Covariance[j][j]-p*(1-p)) > 1e-10 {
+			t.Errorf("Cov[%d][%d] = %g, want %g", j, j, pa.Covariance[j][j], p*(1-p))
+		}
+		for k := 0; k < 10; k++ {
+			if pa.Covariance[j][k] != pa.Covariance[k][j] {
+				t.Error("covariance not symmetric")
+			}
+		}
+	}
+}
+
+func TestCoarseDistribution(t *testing.T) {
+	sol := solvedSinglePeak(t, 8, 0.01)
+	for level := 0; level <= 8; level++ {
+		coarse, err := sol.CoarseDistribution(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coarse) != 1<<(8-level) {
+			t.Fatalf("level %d has %d blocks", level, len(coarse))
+		}
+		var sum float64
+		for _, v := range coarse {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Errorf("level %d mass = %g", level, sum)
+		}
+	}
+	// The block containing the master dominates at every level below ν.
+	coarse, _ := sol.CoarseDistribution(4)
+	for b := 1; b < len(coarse); b++ {
+		if coarse[b] >= coarse[0] {
+			t.Errorf("block %d (%g) outweighs the master block (%g)", b, coarse[b], coarse[0])
+		}
+	}
+	if _, err := sol.CoarseDistribution(99); err == nil {
+		t.Error("invalid level must error")
+	}
+}
+
+func TestAnalysisRequiresMaterializedVector(t *testing.T) {
+	// Build a Solution without concentrations (long-chain reduced shape).
+	sol := &Solution{Gamma: []float64{1}}
+	if _, err := sol.TopSequences(1); err == nil {
+		t.Error("TopSequences without concentrations must error")
+	}
+	if _, err := sol.AnalyzePositions(); err == nil {
+		t.Error("AnalyzePositions without concentrations must error")
+	}
+	if _, err := sol.CoarseDistribution(0); err == nil {
+		t.Error("CoarseDistribution without concentrations must error")
+	}
+}
+
+func TestLinkageAboveAndBelowThreshold(t *testing.T) {
+	// Below the threshold the single-peak quasispecies is NOT a product
+	// distribution: knowing one position is mutated makes others less
+	// likely (the cloud is centred on the master), so covariances are
+	// non-zero. At p = ½ the distribution is uniform and covariances
+	// vanish.
+	below := solvedSinglePeak(t, 8, 0.02)
+	paB, err := below.AnalyzePositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := 0.0
+	for j := 0; j < 8; j++ {
+		for k := j + 1; k < 8; k++ {
+			if c := math.Abs(paB.Covariance[j][k]); c > maxAbs {
+				maxAbs = c
+			}
+		}
+	}
+	if maxAbs == 0 {
+		t.Error("expected non-zero linkage below the threshold")
+	}
+
+	uniform := solvedSinglePeak(t, 8, 0.5)
+	paU, err := uniform.AnalyzePositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 8; j++ {
+		for k := j + 1; k < 8; k++ {
+			if math.Abs(paU.Covariance[j][k]) > 1e-9 {
+				t.Errorf("Cov[%d][%d] = %g at p = 1/2, want 0", j, k, paU.Covariance[j][k])
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package quasispecies
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/persist"
+)
+
+// Checkpointing: solved distributions at large ν are expensive to
+// recompute, so Solution values can be written to and restored from a
+// compact, checksummed binary format (see internal/persist for the
+// layout).
+
+// Save serializes the solution to w and returns an error on any I/O or
+// validation failure. The Method field is not persisted (it describes how
+// the solution was obtained, not what it is).
+func (s *Solution) Save(w io.Writer) error {
+	return persist.Write(w, &persist.Checkpoint{
+		ChainLen:       len(s.Gamma) - 1,
+		Lambda:         s.Lambda,
+		Residual:       s.Residual,
+		Iterations:     s.Iterations,
+		Gamma:          s.Gamma,
+		Concentrations: s.Concentrations,
+	})
+}
+
+// SaveFile writes the solution to the named file (created or truncated).
+func (s *Solution) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSolution deserializes a solution previously written with Save,
+// verifying the embedded checksum.
+func ReadSolution(r io.Reader) (*Solution, error) {
+	c, err := persist.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Lambda:         c.Lambda,
+		Concentrations: c.Concentrations,
+		Gamma:          c.Gamma,
+		Iterations:     c.Iterations,
+		Residual:       c.Residual,
+	}, nil
+}
+
+// LoadSolutionFile reads a solution from the named file.
+func LoadSolutionFile(path string) (*Solution, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sol, err := ReadSolution(f)
+	if err != nil {
+		return nil, fmt.Errorf("quasispecies: loading %s: %w", path, err)
+	}
+	return sol, nil
+}

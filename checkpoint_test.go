@@ -1,0 +1,123 @@
+package quasispecies
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestSolutionRoundTrip(t *testing.T) {
+	sol := solvedSinglePeak(t, 10, 0.01)
+	var buf bytes.Buffer
+	if err := sol.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lambda != sol.Lambda || got.Iterations != sol.Iterations || got.Residual != sol.Residual {
+		t.Error("scalar fields not preserved")
+	}
+	if vec.DistInf(got.Gamma, sol.Gamma) != 0 {
+		t.Error("Γ not preserved")
+	}
+	if vec.DistInf(got.Concentrations, sol.Concentrations) != 0 {
+		t.Error("concentrations not preserved")
+	}
+	// The restored solution supports the analysis API.
+	top, err := got.TopSequences(1)
+	if err != nil || top[0].Sequence != 0 {
+		t.Errorf("restored solution unusable: %v %v", top, err)
+	}
+}
+
+func TestSolutionFileRoundTrip(t *testing.T) {
+	sol := solvedSinglePeak(t, 8, 0.02)
+	path := filepath.Join(t.TempDir(), "qs.ckpt")
+	if err := sol.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSolutionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Lambda-sol.Lambda) != 0 {
+		t.Error("λ not preserved through the file")
+	}
+	if _, err := LoadSolutionFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestGammaOnlySolutionRoundTrip(t *testing.T) {
+	// Long-chain reduced solves carry no concentration vector.
+	sol := &Solution{
+		Lambda:   1.5,
+		Gamma:    []float64{0.6, 0.3, 0.1},
+		Residual: 1e-14,
+	}
+	var buf bytes.Buffer
+	if err := sol.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Concentrations != nil {
+		t.Error("Γ-only checkpoint must restore without concentrations")
+	}
+	if vec.DistInf(got.Gamma, sol.Gamma) != 0 {
+		t.Error("Γ not preserved")
+	}
+}
+
+func TestArnoldiMethodThroughFacade(t *testing.T) {
+	const nu = 8
+	// Asymmetric process: Lanczos is inapplicable, Arnoldi is the point.
+	factors := make([]SiteFactor, nu)
+	for k := range factors {
+		factors[k] = SiteFactor{Stay0: 0.99, Stay1: 0.96}
+	}
+	mut, err := GeneralMutation(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, _ := RandomLandscape(nu, 5, 1, 11)
+
+	power, err := mustSolve(t, mut, land, WithMethod(MethodFmmp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arnoldi, err := mustSolve(t, mut, land, WithMethod(MethodArnoldi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(power.Lambda-arnoldi.Lambda) > 1e-8 {
+		t.Errorf("Arnoldi λ = %.14g vs power %.14g", arnoldi.Lambda, power.Lambda)
+	}
+	if d := vec.DistInf(power.Concentrations, arnoldi.Concentrations); d > 1e-6 {
+		t.Errorf("concentrations deviate by %g", d)
+	}
+	if arnoldi.Method != MethodArnoldi {
+		t.Errorf("method = %v", arnoldi.Method)
+	}
+}
+
+func TestAdaptiveDefaultToleranceSolves(t *testing.T) {
+	// Without WithTolerance, large problems must converge instead of
+	// stalling at an unattainable 1e-12.
+	mut, _ := UniformMutation(14, 0.01)
+	land, _ := RandomLandscape(14, 5, 1, 13)
+	sol, err := mustSolve(t, mut, land, WithMethod(MethodFmmp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Residual <= 0 {
+		t.Error("no residual recorded")
+	}
+}

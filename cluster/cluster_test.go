@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func randVector(r *rng.Source, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*r.Float64() - 1
+	}
+	return v
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(3, 8); err == nil {
+		t.Error("non-power-of-two node count must be rejected")
+	}
+	if _, err := NewCluster(4, 12); err == nil {
+		t.Error("non-power-of-two vector length must be rejected")
+	}
+	if _, err := NewCluster(16, 8); err == nil {
+		t.Error("more nodes than entries must be rejected")
+	}
+	if _, err := NewCluster(0, 8); err == nil {
+		t.Error("zero nodes must be rejected")
+	}
+	c, err := NewCluster(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 4 || c.BlockLen() != 16 {
+		t.Errorf("cluster shape %d×%d", c.Nodes(), c.BlockLen())
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	c, _ := NewCluster(8, 128)
+	x := randVector(r, 128)
+	blocks, err := c.Scatter(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks are private copies.
+	blocks[0][0] = 99
+	if x[0] == 99 {
+		t.Error("Scatter aliases the global vector")
+	}
+	blocks[0][0] = x[0]
+	back, err := c.Gather(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.DistInf(back, x) != 0 {
+		t.Error("Scatter/Gather round trip failed")
+	}
+	if _, err := c.Scatter(make([]float64, 64)); err == nil {
+		t.Error("wrong global length must be rejected")
+	}
+	if _, err := c.Gather(blocks[:4]); err == nil {
+		t.Error("wrong block count must be rejected")
+	}
+}
+
+func TestDistributedFmmpMatchesSerial(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nu := 3 + int(r.Uint64n(8)) // ν in [3, 10]
+		n := 1 << nu
+		maxLogP := nu
+		if maxLogP > 4 {
+			maxLogP = 4
+		}
+		p := 0.001 + 0.45*r.Float64()
+		x := randVector(r, n)
+
+		want := vec.Clone(x)
+		mutation.MustUniform(nu, p).Apply(want)
+
+		for logP := 0; logP <= maxLogP; logP++ {
+			c, err := NewCluster(1<<logP, n)
+			if err != nil {
+				return false
+			}
+			blocks, err := c.Scatter(x)
+			if err != nil {
+				return false
+			}
+			if err := c.FmmpApply(blocks, p); err != nil {
+				return false
+			}
+			got, err := c.Gather(blocks)
+			if err != nil {
+				return false
+			}
+			if vec.DistInf(got, want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommunicationVolumeExact(t *testing.T) {
+	// One matvec must move exactly 8·N·log₂P bytes of block traffic.
+	for _, cfg := range []struct{ nodes, n int }{{1, 256}, {2, 256}, {4, 256}, {8, 256}, {16, 256}} {
+		c, err := NewCluster(cfg.nodes, cfg.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks, _ := c.Scatter(make([]float64, cfg.n))
+		if err := c.FmmpApply(blocks, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		st := c.Stats()
+		if st.Bytes != c.ExpectedMatvecBytes() {
+			t.Errorf("P=%d: %d bytes moved, want %d", cfg.nodes, st.Bytes, c.ExpectedMatvecBytes())
+		}
+		logP := 0
+		for 1<<logP < cfg.nodes {
+			logP++
+		}
+		if st.CrossStages != int64(logP) {
+			t.Errorf("P=%d: %d cross stages, want %d", cfg.nodes, st.CrossStages, logP)
+		}
+		wantMsgs := int64(cfg.nodes * logP)
+		if st.Messages != wantMsgs {
+			t.Errorf("P=%d: %d messages, want %d", cfg.nodes, st.Messages, wantMsgs)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	c, _ := NewCluster(8, 64)
+	got := c.AllreduceSum(func(rank int) float64 { return float64(rank + 1) })
+	if got != 36 {
+		t.Errorf("allreduce = %g, want 36", got)
+	}
+	if c.Stats().Allreduces != 1 {
+		t.Error("allreduce not counted")
+	}
+}
+
+func TestDistributedBLAS(t *testing.T) {
+	r := rng.New(2)
+	c, _ := NewCluster(4, 256)
+	x := randVector(r, 256)
+	y := randVector(r, 256)
+	bx, _ := c.Scatter(x)
+	by, _ := c.Scatter(y)
+	if got, want := c.Dot(bx, by), vec.Dot(x, y); math.Abs(got-want) > 1e-10 {
+		t.Errorf("Dot = %g, want %g", got, want)
+	}
+	if got, want := c.Norm2(bx), vec.Norm2(x); math.Abs(got-want) > 1e-10 {
+		t.Errorf("Norm2 = %g, want %g", got, want)
+	}
+	c.Scale(bx, 2)
+	back, _ := c.Gather(bx)
+	vec.Scale(x, 2)
+	if vec.DistInf(back, x) != 0 {
+		t.Error("Scale mismatch")
+	}
+}
+
+func TestAllreduceDeterministicAcrossRuns(t *testing.T) {
+	r := rng.New(3)
+	c, _ := NewCluster(8, 1024)
+	x := randVector(r, 1024)
+	bx, _ := c.Scatter(x)
+	first := c.Norm2(bx)
+	for i := 0; i < 10; i++ {
+		if got := c.Norm2(bx); got != first {
+			t.Fatalf("run %d: Norm2 = %v, want bit-identical %v", i, got, first)
+		}
+	}
+}
+
+func TestDistributedSolveMatchesSerial(t *testing.T) {
+	const nu = 9
+	const p = 0.01
+	l, err := landscape.NewRandom(nu, 5, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference.
+	q := mutation.MustUniform(nu, p)
+	op, _ := core.NewFmmpOperator(q, l, core.Right, nil)
+	ref, err := core.PowerIteration(op, core.PowerOptions{Tol: 1e-12, Start: core.FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		c, err := NewCluster(nodes, 1<<nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Solve(p, l, SolveOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("P=%d: %v", nodes, err)
+		}
+		if math.Abs(res.Lambda-ref.Lambda) > 1e-10 {
+			t.Errorf("P=%d: λ = %.15g, want %.15g", nodes, res.Lambda, ref.Lambda)
+		}
+		if d := vec.DistInf(res.Vector, ref.Vector); d > 1e-8 {
+			t.Errorf("P=%d: eigenvector deviates by %g", nodes, d)
+		}
+		if nodes > 1 && res.Traffic.Bytes == 0 {
+			t.Errorf("P=%d: no traffic recorded", nodes)
+		}
+	}
+}
+
+func TestDistributedSolveWithShift(t *testing.T) {
+	const nu = 8
+	const p = 0.01
+	l, _ := landscape.NewRandom(nu, 5, 1, 9)
+	q := mutation.MustUniform(nu, p)
+	mu := core.ConservativeShift(q, l)
+	c, _ := NewCluster(4, 1<<nu)
+	plain, err := c.Solve(p, l, SolveOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := NewCluster(4, 1<<nu)
+	shifted, err := c2.Solve(p, l, SolveOptions{Tol: 1e-11, Shift: mu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Lambda-shifted.Lambda) > 1e-9 {
+		t.Error("shift changed the distributed answer")
+	}
+	if shifted.Iterations >= plain.Iterations {
+		t.Errorf("shift did not reduce distributed iterations: %d vs %d",
+			shifted.Iterations, plain.Iterations)
+	}
+}
+
+func TestDistributedSolveErrors(t *testing.T) {
+	c, _ := NewCluster(2, 16)
+	l, _ := landscape.NewUniform(5, 1) // dimension 32 ≠ 16
+	if _, err := c.Solve(0.01, l, SolveOptions{}); err == nil {
+		t.Error("dimension mismatch must be rejected")
+	}
+	l4, _ := landscape.NewUniform(4, 1)
+	if _, err := c.Solve(0, l4, SolveOptions{}); err == nil {
+		t.Error("invalid p must be rejected")
+	}
+	lr, _ := landscape.NewRandom(4, 5, 1, 1)
+	res, err := c.Solve(0.01, lr, SolveOptions{Tol: 1e-30, MaxIter: 2})
+	if err == nil {
+		t.Error("budget exhaustion must surface as error")
+	}
+	if res == nil || res.Iterations != 2 {
+		t.Error("partial result must be returned on exhaustion")
+	}
+}
+
+func TestFmmpApplyValidation(t *testing.T) {
+	c, _ := NewCluster(2, 16)
+	blocks, _ := c.Scatter(make([]float64, 16))
+	if err := c.FmmpApply(blocks[:1], 0.01); err == nil {
+		t.Error("wrong block count must be rejected")
+	}
+	if err := c.FmmpApply(blocks, 0.9); err == nil {
+		t.Error("invalid rate must be rejected")
+	}
+}
+
+func TestSingleNodeClusterIsSerial(t *testing.T) {
+	// P = 1: no communication at all, identical results.
+	r := rng.New(4)
+	const nu = 6
+	c, _ := NewCluster(1, 1<<nu)
+	x := randVector(r, 1<<nu)
+	want := vec.Clone(x)
+	mutation.MustUniform(nu, 0.03).Apply(want)
+	blocks, _ := c.Scatter(x)
+	if err := c.FmmpApply(blocks, 0.03); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Gather(blocks)
+	if vec.DistInf(got, want) > 1e-13 {
+		t.Error("P=1 result differs from serial")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Messages != 0 {
+		t.Errorf("P=1 cluster communicated: %+v", st)
+	}
+}

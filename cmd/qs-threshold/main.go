@@ -1,0 +1,91 @@
+// Command qs-threshold regenerates Figure 1 of the paper: the cumulative
+// error-class concentrations [Γ0] … [Γν] as functions of the error rate p,
+// for the single-peak landscape (left panel: sharp error threshold at
+// p_max ≈ 0.035 for ν = 20, f₀/f₁ = 2) and the linear landscape (right
+// panel: smooth transition, no threshold).
+//
+// Output is TSV: one row per p, one column per error class — directly
+// plottable.
+//
+//	qs-threshold -landscape singlepeak -nu 20 > fig1_left.tsv
+//	qs-threshold -landscape linear     -nu 20 > fig1_right.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	quasispecies "repro"
+)
+
+func main() {
+	var (
+		nu     = flag.Int("nu", 20, "chain length ν")
+		land   = flag.String("landscape", "singlepeak", "singlepeak | linear")
+		f0     = flag.Float64("f0", 2, "master fitness f₀")
+		f1     = flag.Float64("f1", 1, "base / distance-ν fitness")
+		pMin   = flag.Float64("pmin", 0.0005, "smallest error rate")
+		pMax   = flag.Float64("pmax", 0.09, "largest error rate")
+		steps  = flag.Int("steps", 180, "number of p samples")
+		locate = flag.Bool("locate", false, "bisect and print the error threshold p_max instead of sweeping")
+	)
+	flag.Parse()
+
+	var l quasispecies.Landscape
+	var err error
+	switch *land {
+	case "singlepeak":
+		l, err = quasispecies.SinglePeak(*nu, *f0, *f1)
+	case "linear":
+		l, err = quasispecies.LinearLandscape(*nu, *f0, *f1)
+	default:
+		err = fmt.Errorf("unknown landscape %q", *land)
+	}
+	exitOn(err)
+
+	if *steps < 2 || *pMax <= *pMin || *pMin <= 0 || *pMax > 0.5 {
+		exitOn(fmt.Errorf("invalid sweep range [%g, %g] with %d steps", *pMin, *pMax, *steps))
+	}
+	ps := make([]float64, *steps)
+	for i := range ps {
+		ps[i] = *pMin + (*pMax-*pMin)*float64(i)/float64(*steps-1)
+	}
+	if *locate {
+		located, err := quasispecies.LocateErrorThreshold(l, *pMin, *pMax, 1e-6)
+		exitOn(err)
+		fmt.Printf("located p_max = %.6f\n", located)
+		if *land == "singlepeak" && *f0 > *f1 {
+			theory, err := quasispecies.TheoreticalErrorThreshold(*f0 / *f1, *nu)
+			exitOn(err)
+			fmt.Printf("first-order theory 1 - sigma^(-1/nu) = %.6f\n", theory)
+		}
+		return
+	}
+
+	pts, err := quasispecies.ThresholdCurve(l, ps)
+	exitOn(err)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprint(w, "p")
+	for k := 0; k <= *nu; k++ {
+		fmt.Fprintf(w, "\tGamma%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%.6g", pt.P)
+		for _, g := range pt.Gamma {
+			fmt.Fprintf(w, "\t%.8g", g)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qs-threshold:", err)
+		os.Exit(1)
+	}
+}

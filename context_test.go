@@ -1,0 +1,91 @@
+package quasispecies
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSolveContextCompletes(t *testing.T) {
+	mut, _ := UniformMutation(10, 0.01)
+	land, _ := RandomLandscape(10, 5, 1, 1)
+	model, err := New(mut, land, WithMethod(MethodFmmp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := model.SolveContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Lambda-plain.Lambda) > 1e-12 {
+		t.Errorf("context solve λ = %g vs plain %g", sol.Lambda, plain.Lambda)
+	}
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	mut, _ := UniformMutation(12, 0.01)
+	land, _ := RandomLandscape(12, 5, 1, 2)
+	model, err := New(mut, land, WithMethod(MethodFmmp), WithTolerance(1e-13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled
+	if _, err := model.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveContextDeadline(t *testing.T) {
+	// A near-threshold problem at larger ν runs long enough for a 1 ns
+	// deadline to fire mid-iteration.
+	mut, _ := UniformMutation(14, 0.06)
+	land, _ := SinglePeak(14, 2, 1)
+	model, err := New(mut, land, WithMethod(MethodFmmp), WithTolerance(1e-13), WithShift(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Microsecond)
+	if _, err := model.SolveContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSolveContextReducedPath(t *testing.T) {
+	// Class landscapes route to the instant reduction; a live context
+	// passes through.
+	mut, _ := UniformMutation(12, 0.01)
+	land, _ := SinglePeak(12, 2, 1)
+	model, _ := New(mut, land)
+	sol, err := model.SolveContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != MethodReduced {
+		t.Errorf("method = %v", sol.Method)
+	}
+}
+
+func TestSolveContextXmvpPath(t *testing.T) {
+	mut, _ := UniformMutation(8, 0.01)
+	land, _ := RandomLandscape(8, 5, 1, 3)
+	model, err := New(mut, land, WithMethod(MethodXmvp), WithXmvpRadius(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := model.SolveContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != MethodXmvp {
+		t.Errorf("method = %v", sol.Method)
+	}
+}

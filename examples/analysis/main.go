@@ -1,0 +1,105 @@
+// Multi-resolution analysis: the "concentrations at various resolution
+// levels" direction from the paper's conclusions. Solve once, then read
+// the stationary population at every granularity — single sequences,
+// per-position mutation probabilities and linkage, coarse blocks, error
+// classes — and checkpoint the result for later sessions.
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	quasispecies "repro"
+)
+
+func main() {
+	const nu = 16
+	const p = 0.015
+
+	mut, err := quasispecies.UniformMutation(nu, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A rugged landscape: a strong master plus random fitness elsewhere.
+	land, err := quasispecies.RandomLandscape(nu, 5, 1, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := quasispecies.New(mut, land, quasispecies.WithMethod(quasispecies.MethodFmmp))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved ν=%d in %d iterations: λ = %.6f\n\n", nu, sol.Iterations, sol.Lambda)
+
+	// Resolution level 0: individual sequences.
+	top, err := sol.TopSequences(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("single-sequence resolution — the five dominant genotypes:")
+	for _, e := range top {
+		fmt.Printf("  X%-6d (%0*b)  %.5f\n", e.Sequence, nu, e.Sequence, e.Concentration)
+	}
+
+	// Position resolution: mutation probability and linkage per site.
+	pa, err := sol.AnalyzePositions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-position mutation probabilities (one Walsh transform):")
+	for k, prob := range pa.MutationProbability {
+		fmt.Printf("  pos %2d: %.5f\n", k, prob)
+		if k == 3 {
+			fmt.Printf("  … %d more positions\n", nu-4)
+			break
+		}
+	}
+	fmt.Printf("consensus sequence: %0*b (the master: %v)\n", nu, pa.Consensus, pa.Consensus == 0)
+	// Strongest linkage pair.
+	bj, bk, best := 0, 1, 0.0
+	for j := 0; j < nu; j++ {
+		for k := j + 1; k < nu; k++ {
+			if c := pa.Covariance[j][k]; c > best {
+				bj, bk, best = j, k, c
+			}
+		}
+	}
+	fmt.Printf("strongest positive linkage: positions %d and %d (cov %.3g)\n", bj, bk, best)
+
+	// Block resolution: the coarsening pyramid.
+	fmt.Println("\ncoarse distributions (mass of the master's block per level):")
+	for _, level := range []int{4, 8, 12} {
+		coarse, err := sol.CoarseDistribution(level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  level %2d (%5d blocks): block₀ holds %.5f\n", level, len(coarse), coarse[0])
+	}
+
+	// Class resolution: the Γ distribution of Figure 1.
+	fmt.Println("\nerror-class resolution:")
+	for k := 0; k <= 4; k++ {
+		fmt.Printf("  [Γ%d] = %.5f\n", k, sol.Gamma[k])
+	}
+
+	// Checkpoint the solution; a later session reloads it instantly.
+	path := filepath.Join(os.TempDir(), "quasispecies-nu16.ckpt")
+	if err := sol.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := quasispecies.LoadSolutionFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheckpointed to %s and restored: λ = %.6f (match: %v)\n",
+		path, restored.Lambda, restored.Lambda == sol.Lambda)
+	os.Remove(path)
+}

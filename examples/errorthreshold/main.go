@@ -1,0 +1,75 @@
+// Error threshold: reproduce the phenomenon of Figure 1 — a sharp phase
+// transition from an ordered quasispecies to random replication for the
+// single-peak landscape, and its absence for the linear landscape.
+//
+// The example locates p_max for ν = 20 numerically and prints compact
+// versions of both panels.
+//
+//	go run ./examples/errorthreshold
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quasispecies "repro"
+)
+
+const chainLen = 20
+
+func main() {
+	single, err := quasispecies.SinglePeak(chainLen, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	linear, err := quasispecies.LinearLandscape(chainLen, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ps := []float64{0.005, 0.015, 0.025, 0.030, 0.035, 0.040, 0.050, 0.070}
+
+	fmt.Println("single-peak landscape (f0=2, f=1): watch [Γ0] collapse near p ≈ 0.035")
+	printPanel(single, ps)
+
+	fmt.Println("\nlinear landscape (f0=2 → fν=1): smooth decay, no threshold")
+	printPanel(linear, ps)
+
+	// Bisect the threshold for the single-peak landscape: the point where
+	// the master class drops below twice its uniform share.
+	lo, hi := 0.01, 0.08
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if ordered(single, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	fmt.Printf("\nestimated error threshold for ν=%d, f0/f1=2: p_max ≈ %.4f (paper: ≈ 0.035)\n",
+		chainLen, (lo+hi)/2)
+}
+
+func printPanel(l quasispecies.Landscape, ps []float64) {
+	pts, err := quasispecies.ThresholdCurve(l, ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("     p      [Γ0]      [Γ1]      [Γ2]      [Γ5]      [Γ10]")
+	for _, pt := range pts {
+		fmt.Printf("  %.3f  %8.5f  %8.5f  %8.5f  %8.5f  %8.5f\n",
+			pt.P, pt.Gamma[0], pt.Gamma[1], pt.Gamma[2], pt.Gamma[5], pt.Gamma[10])
+	}
+}
+
+// ordered reports whether the master error class still dominates clearly
+// at error rate p: above the threshold [Γ0] falls to its uniform share
+// 2^-ν ≈ 1e-6.
+func ordered(l quasispecies.Landscape, p float64) bool {
+	pts, err := quasispecies.ThresholdCurve(l, []float64{p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const uniformShare = 1.0 / (1 << chainLen)
+	return pts[0].Gamma[0] > 100*uniformShare
+}

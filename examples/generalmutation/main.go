@@ -1,0 +1,98 @@
+// General mutation processes and dynamics: the quasispecies model beyond
+// the textbook uniform error rate (Section 2.2), plus the time-dependent
+// view of Eq. 1.
+//
+// The example builds a virus whose 3' end copies an order of magnitude
+// less faithfully than its 5' end (position-dependent error rates), adds a
+// strand bias (asymmetric 0→1 / 1→0 probabilities), solves for the
+// stationary population with the same Θ(N·log₂N) machinery, and finally
+// integrates the replication–mutation ODE to watch the population relax
+// toward the computed quasispecies.
+//
+//	go run ./examples/generalmutation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	quasispecies "repro"
+)
+
+const chainLen = 14
+
+func main() {
+	// Position-dependent error rates: 0.002 at the 5' end rising to 0.02
+	// at the 3' end.
+	rates := make([]float64, chainLen)
+	for k := range rates {
+		rates[k] = 0.002 * math.Pow(10, float64(k)/float64(chainLen-1))
+	}
+	mut, err := quasispecies.PerSiteMutation(rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	land, err := quasispecies.RandomLandscape(chainLen, 5, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := quasispecies.New(mut, land, quasispecies.WithTolerance(1e-12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("position-dependent rates (%.3g … %.3g): λ = %.6f, x₀ = %.4f, method %s\n",
+		rates[0], rates[chainLen-1], sol.Lambda, sol.MasterConcentration(), sol.Method)
+
+	// Strand-biased (asymmetric) mutation: 1→0 happens 4× more often than
+	// 0→1. The mutation matrix loses its symmetry; the solver is unfazed.
+	factors := make([]quasispecies.SiteFactor, chainLen)
+	for k := range factors {
+		factors[k] = quasispecies.SiteFactor{Stay0: 1 - 0.004, Stay1: 1 - 0.016}
+	}
+	biased, err := quasispecies.GeneralMutation(factors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bmodel, err := quasispecies.New(biased, land)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsol, err := bmodel.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strand-biased mutation:                    λ = %.6f, x₀ = %.4f\n",
+		bsol.Lambda, bsol.MasterConcentration())
+
+	// Dynamics (Eq. 1): start from a pure master population and watch the
+	// mean fitness Φ(t) relax to λ as the mutant cloud forms.
+	fmt.Println("\nrelaxation of Φ(t) toward λ under the biased process:")
+	tr, err := bmodel.Evolve(nil, 8, quasispecies.EvolveOptions{Snapshots: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, state := range tr.States {
+		phi, err := bmodel.MeanFitness(state)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  t = %4.1f   Φ = %.8f   (λ − Φ = %+.2e)\n",
+			tr.Times[i], phi, bsol.Lambda-phi)
+	}
+	final := tr.Final()
+	maxDev := 0.0
+	for i, v := range final {
+		if d := math.Abs(v - bsol.Concentrations[i]); d > maxDev {
+			maxDev = d
+		}
+	}
+	fmt.Printf("\nmax deviation between the t = %.0f state and the eigenvector solution: %.2e\n",
+		tr.Times[len(tr.Times)-1], maxDev)
+	fmt.Printf("(the ODE and eigenvalue views of the model agree — integrator used %d adaptive steps)\n",
+		tr.Steps)
+}

@@ -1,0 +1,88 @@
+// Kronecker landscapes: solve a chain length far beyond 2^ν storage by
+// exploiting the Section 5.2 decoupling. "The quasispecies model for a
+// chain length ν = 100 (which occurs in existing viruses of interest) is
+// by far out of reach of any of the currently available computational
+// technology. However, for a Kronecker fitness landscape with g = 4 it
+// could be reduced to four subproblems of dimension 2^25."
+//
+// This example builds ν = 100 from five 20-bit blocks (keeping the run in
+// the hundreds of milliseconds; switch to -gbits 25 -blocks 4 for the
+// paper's exact decomposition if you have a few GB of RAM to spare),
+// solves each block with the fast Pi(Fmmp) solver and extracts exact
+// aggregate information about the 2^100-dimensional eigenvector.
+//
+//	go run ./examples/kronecker
+//	go run ./examples/kronecker -gbits 25 -blocks 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	quasispecies "repro"
+)
+
+func main() {
+	var (
+		gbits  = flag.Int("gbits", 20, "positions per block")
+		blocks = flag.Int("blocks", 5, "number of independent blocks")
+		p      = flag.Float64("p", 0.002, "per-position error rate")
+	)
+	flag.Parse()
+
+	// Each block carries a single-peak fitness factor: the block's
+	// error-free segment is 1.15× fitter. The full landscape is the
+	// Kronecker product of the factors — 2^ν values described by
+	// g·2^(ν/g) numbers.
+	factor := make([]float64, 1<<uint(*gbits))
+	for i := range factor {
+		factor[i] = 1
+	}
+	factor[0] = 1.15
+
+	specs := make([]quasispecies.KroneckerBlock, *blocks)
+	for b := range specs {
+		specs[b] = quasispecies.KroneckerBlock{ChainLen: *gbits, ErrorRate: *p, Fitness: factor}
+	}
+
+	start := time.Now()
+	sol, err := quasispecies.SolveKronecker(specs, quasispecies.WithTolerance(1e-12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("solved ν = %d (N = 2^%d ≈ 10^%.0f sequences) in %v\n",
+		sol.ChainLen(), sol.ChainLen(), float64(sol.ChainLen())*0.30103, elapsed)
+	fmt.Printf("dominant eigenvalue λ = Π λᵢ = %.9f\n", sol.Lambda())
+	fmt.Printf("master sequence concentration x₀ = %.6g\n", sol.MasterConcentration())
+
+	gamma := sol.Gamma()
+	fmt.Println("\nexact cumulative error-class concentrations of the 2^100-dim eigenvector:")
+	for k := 0; k <= 8; k++ {
+		fmt.Printf("  [Γ%d] = %.6g\n", k, gamma[k])
+	}
+
+	mn, mx := sol.ClassEnvelope()
+	fmt.Println("\nper-class concentration envelopes (Section 5.2's threshold diagnostic):")
+	for _, k := range []int{0, 1, 2, 5, 10} {
+		fmt.Printf("  Γ%-2d  min %.4g   max %.4g\n", k, mn[k], mx[k])
+	}
+
+	// Single-sequence access works too (ν ≤ 62 for 64-bit indexing is
+	// exceeded here, so query via block structure instead): the
+	// concentration of any sequence is the product of its block
+	// concentrations, demonstrated here for "one mutation in block 0".
+	oneMut, err := quasispecies.SolveKronecker(specs[:1], quasispecies.WithTolerance(1e-12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1, err := oneMut.Concentration(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c0 := oneMut.MasterConcentration()
+	fmt.Printf("\nwithin one block: x(single mutant)/x(master) = %.4g\n", c1/c0)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/vec"
+)
+
+// This file implements restarted Arnoldi iteration, the Krylov method for
+// the *non-symmetric* formulations. The paper's generalized mutation
+// processes (Section 2.2) can make W = Q·F non-symmetrizable — asymmetric
+// per-site factors break Q's symmetry — so Lanczos no longer applies;
+// Arnoldi is the standard replacement, at the cost of a full (not
+// tridiagonal) projected matrix and full orthogonalization.
+//
+// Because W is non-negative and irreducible, the dominant eigenvalue is
+// real and simple (Perron–Frobenius), so the dominant Ritz pair of the
+// small Hessenberg matrix is safely extracted with the dense real
+// power method.
+
+// ArnoldiOptions configures the restarted Arnoldi solver.
+type ArnoldiOptions struct {
+	// Tol is the residual threshold on ‖W·x − λ·x‖₂. Default 1e-12.
+	Tol float64
+	// BasisSize is the Krylov basis per restart cycle (default 24).
+	BasisSize int
+	// MaxRestarts caps the restart cycles (default 1000).
+	MaxRestarts int
+	// Start is the starting vector (copied). Default: uniform.
+	Start []float64
+}
+
+// ArnoldiResult is the outcome of the Arnoldi solver.
+type ArnoldiResult struct {
+	Lambda     float64
+	Vector     []float64
+	MatVecs    int
+	Restarts   int
+	Residual   float64
+	Converged  bool
+	BasisBytes int
+}
+
+// Arnoldi computes the dominant eigenpair of op (any square operator, no
+// symmetry required) with restarted Arnoldi and modified Gram–Schmidt
+// orthogonalization.
+func Arnoldi(op Operator, opts ArnoldiOptions) (ArnoldiResult, error) {
+	n := op.Dim()
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	m := opts.BasisSize
+	if m <= 0 {
+		m = 24
+	}
+	if m > n {
+		m = n
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1000
+	}
+
+	q := make([]float64, n)
+	if opts.Start != nil {
+		if len(opts.Start) != n {
+			return ArnoldiResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
+		}
+		copy(q, opts.Start)
+	} else {
+		vec.Fill(q, 1)
+	}
+	if vec.Norm2(q) == 0 {
+		return ArnoldiResult{}, errors.New("core: start vector is zero")
+	}
+	vec.Normalize2(q)
+
+	basis := make([][]float64, m)
+	for i := range basis {
+		basis[i] = make([]float64, n)
+	}
+	h := dense.NewMatrix(m, m)
+	w := make([]float64, n)
+
+	res := ArnoldiResult{BasisBytes: (m + 2) * n * 8}
+	prevResidual := math.Inf(1)
+	stalled := 0
+	for restart := 0; restart < maxRestarts; restart++ {
+		res.Restarts = restart + 1
+		for i := range h.Data {
+			h.Data[i] = 0
+		}
+		copy(basis[0], q)
+		k := 0
+		for j := 0; j < m; j++ {
+			op.Apply(w, basis[j])
+			res.MatVecs++
+			// Modified Gram–Schmidt against the whole basis.
+			for t := 0; t <= j; t++ {
+				c := vec.Dot(basis[t], w)
+				h.Set(t, j, c)
+				vec.AXPY(-c, basis[t], w)
+			}
+			// One reorthogonalization pass for robustness.
+			for t := 0; t <= j; t++ {
+				c := vec.Dot(basis[t], w)
+				if c != 0 {
+					h.Set(t, j, h.At(t, j)+c)
+					vec.AXPY(-c, basis[t], w)
+				}
+			}
+			k = j + 1
+			b := vec.Norm2(w)
+			if j+1 < m {
+				if b < 1e-300 {
+					break // invariant subspace
+				}
+				h.Set(j+1, j, b)
+				for i := range w {
+					basis[j+1][i] = w[i] / b
+				}
+			}
+		}
+		// Dominant Ritz pair of the k×k upper-left block of H.
+		hk := dense.NewMatrix(k, k)
+		for r := 0; r < k; r++ {
+			copy(hk.Row(r), h.Row(r)[:k])
+		}
+		lam, y, _, err := dense.Dominant(hk, &dense.DominantOptions{Tol: 1e-13, MaxIter: 200000})
+		if err != nil && !errors.Is(err, dense.ErrNoConvergence) {
+			return res, fmt.Errorf("core: Hessenberg eigensolve failed: %w", err)
+		}
+		res.Lambda = lam
+		vec.Fill(q, 0)
+		for j := 0; j < k; j++ {
+			vec.AXPY(y[j], basis[j], q)
+		}
+		nrm := vec.Norm2(q)
+		if nrm == 0 {
+			return res, errors.New("core: Arnoldi produced a zero Ritz vector")
+		}
+		vec.Scale(q, 1/nrm)
+		op.Apply(w, q)
+		res.MatVecs++
+		var rs float64
+		for i, wi := range w {
+			r := wi - lam*q[i]
+			rs += r * r
+		}
+		res.Residual = math.Sqrt(rs)
+		if res.Residual <= tol {
+			res.Converged = true
+			orientPositive(q)
+			res.Vector = q
+			return res, nil
+		}
+		if res.Residual < prevResidual*(1-1e-6) {
+			prevResidual = res.Residual
+			stalled = 0
+		} else if stalled++; stalled >= 10 {
+			orientPositive(q)
+			res.Vector = q
+			return res, fmt.Errorf("%w: residual %g after %d restarts", ErrStagnated, res.Residual, res.Restarts)
+		}
+	}
+	orientPositive(q)
+	res.Vector = q
+	return res, fmt.Errorf("%w after %d restarts (residual %g, tol %g)",
+		ErrNoConvergence, res.Restarts, res.Residual, tol)
+}

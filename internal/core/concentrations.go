@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/vec"
+)
+
+// Concentrations converts a dominant eigenvector of the Right formulation
+// (Q·F) in place into the relative-concentration distribution of the
+// quasispecies: tiny negative round-off is clamped to zero and the vector
+// is normalized to Σxᵢ = 1. It returns an error if genuinely negative
+// entries are present (which would contradict Perron–Frobenius and
+// indicates the iterate has not converged).
+func Concentrations(x []float64) error {
+	const tol = 1e-9
+	nrm := vec.NormInf(x)
+	if nrm == 0 {
+		return fmt.Errorf("core: zero vector has no concentration interpretation")
+	}
+	for i, v := range x {
+		if v < 0 {
+			if v < -tol*nrm {
+				return fmt.Errorf("core: eigenvector entry %d = %g is significantly negative; "+
+					"not a Perron vector", i, v)
+			}
+			x[i] = 0
+		}
+	}
+	vec.Normalize1(x)
+	return nil
+}
+
+// ClassConcentrations returns the cumulative concentrations
+// [Γ_k] = Σ_{j ∈ Γ_k} x_j of the ν+1 error classes with respect to the
+// master sequence — the quantities plotted in Figure 1. x must be a
+// concentration vector of length 2^ν.
+func ClassConcentrations(nu int, x []float64) ([]float64, error) {
+	if len(x) != bits.SpaceSize(nu) {
+		return nil, fmt.Errorf("core: vector length %d does not match 2^%d", len(x), nu)
+	}
+	gamma := make([]float64, nu+1)
+	for i, v := range x {
+		gamma[bits.Weight(uint64(i))] += v
+	}
+	return gamma, nil
+}
+
+// ClassConcentrationsAbout generalizes ClassConcentrations to the error
+// classes Γ_{k,center} around an arbitrary center sequence (Eq. 6).
+func ClassConcentrationsAbout(nu int, x []float64, center uint64) ([]float64, error) {
+	if len(x) != bits.SpaceSize(nu) {
+		return nil, fmt.Errorf("core: vector length %d does not match 2^%d", len(x), nu)
+	}
+	if center >= uint64(len(x)) {
+		return nil, fmt.Errorf("core: center %d outside sequence space of size %d", center, len(x))
+	}
+	gamma := make([]float64, nu+1)
+	for i, v := range x {
+		gamma[bits.Hamming(uint64(i), center)] += v
+	}
+	return gamma, nil
+}

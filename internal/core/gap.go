@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// This file computes the subdominant eigenpair and the spectral gap of W,
+// the quantity that governs the power iteration's convergence rate
+// λ₁/λ₀ (and (λ₁−µ)/(λ₀−µ) with the Section 3 shift). The gap is the
+// paper's implicit cost model: near the error threshold it closes and the
+// iteration count blows up, which is also where the Lanczos alternative
+// pays off.
+
+// SecondEigenpair computes the second eigenpair (λ₁, x₁) of a *symmetric*
+// operator by power iteration deflated against the supplied dominant
+// eigenvector: every iterate is re-orthogonalized against x₀, so the
+// iteration converges to the dominant eigenpair of (I − x₀x₀ᵀ)·A.
+// dominant must hold a unit-2-norm eigenvector from a converged solve of
+// the same operator.
+func SecondEigenpair(op Operator, dominant []float64, opts PowerOptions) (PowerResult, error) {
+	n := op.Dim()
+	if len(dominant) != n {
+		return PowerResult{}, fmt.Errorf("core: dominant vector length %d, want %d", len(dominant), n)
+	}
+	if math.Abs(vec.Norm2(dominant)-1) > 1e-8 {
+		return PowerResult{}, errors.New("core: dominant vector must have unit 2-norm")
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-11
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500000
+	}
+	stallChecks := opts.StallChecks
+	if stallChecks == 0 {
+		stallChecks = 100
+	}
+
+	x := make([]float64, n)
+	if opts.Start != nil {
+		if len(opts.Start) != n {
+			return PowerResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
+		}
+		copy(x, opts.Start)
+	} else {
+		// A deterministic start with overlap on all coordinates but not
+		// parallel to the dominant vector.
+		for i := range x {
+			x[i] = 1 + 0.5*math.Sin(float64(3*i+1))
+		}
+	}
+	deflate(x, dominant)
+	if vec.Norm2(x) < 1e-12 {
+		return PowerResult{}, errors.New("core: start vector lies in the dominant direction")
+	}
+	vec.Normalize2(x)
+
+	w := make([]float64, n)
+	res := PowerResult{}
+	bestResidual := math.Inf(1)
+	stalled := 0
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		op.Apply(w, x)
+		deflate(w, dominant)
+		lambda := vec.Dot(x, w)
+		res.Lambda = lambda
+		var rs float64
+		for i, wi := range w {
+			r := wi - lambda*x[i]
+			rs += r * r
+		}
+		res.Residual = math.Sqrt(rs)
+		if res.Residual <= tol {
+			res.Converged = true
+			break
+		}
+		if stallChecks > 0 {
+			if res.Residual < bestResidual*(1-1e-6) {
+				bestResidual = res.Residual
+				stalled = 0
+			} else if stalled++; stalled >= stallChecks {
+				orientPositive(x)
+				res.Vector = x
+				return res, fmt.Errorf("%w: residual %g after %d iterations", ErrStagnated, res.Residual, iter)
+			}
+		}
+		nrm := vec.Norm2(w)
+		if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+			return res, fmt.Errorf("core: deflated iteration broke down at step %d", iter)
+		}
+		for i := range x {
+			x[i] = w[i] / nrm
+		}
+	}
+	orientPositive(x)
+	res.Vector = x
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d deflated iterations (residual %g)",
+			ErrNoConvergence, res.Iterations, res.Residual)
+	}
+	return res, nil
+}
+
+func deflate(v, against []float64) {
+	c := vec.Dot(against, v)
+	vec.AXPY(-c, against, v)
+}
+
+// SpectralGap summarizes the top of the spectrum of W.
+type SpectralGap struct {
+	Lambda0, Lambda1 float64
+	// Rate is the unshifted convergence factor λ₁/λ₀ of the power
+	// iteration; errors shrink by this factor per step asymptotically.
+	Rate float64
+	// ShiftedRate is (λ₁−µ)/(λ₀−µ) for the shift µ used.
+	ShiftedRate float64
+	Mu          float64
+}
+
+// EstimateGap solves for both leading eigenpairs of the *symmetric*
+// operator and derives the convergence rates with and without the shift µ.
+func EstimateGap(op Operator, mu float64, opts PowerOptions) (*SpectralGap, error) {
+	first, err := PowerIteration(op, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: dominant solve failed: %w", err)
+	}
+	secondOpts := opts
+	secondOpts.Start = nil
+	secondOpts.Shift = 0
+	second, err := SecondEigenpair(op, first.Vector, secondOpts)
+	if err != nil && !errors.Is(err, ErrStagnated) {
+		return nil, fmt.Errorf("core: subdominant solve failed: %w", err)
+	}
+	g := &SpectralGap{
+		Lambda0: first.Lambda,
+		Lambda1: second.Lambda,
+		Mu:      mu,
+	}
+	g.Rate = second.Lambda / first.Lambda
+	g.ShiftedRate = (second.Lambda - mu) / (first.Lambda - mu)
+	return g, nil
+}
+
+// PredictIterations estimates the number of power-iteration steps needed
+// to shrink the eigenvector error by factor eps at convergence rate
+// rate ∈ (0, 1): ⌈log(eps)/log(rate)⌉.
+func PredictIterations(rate, eps float64) (int, error) {
+	if !(rate > 0 && rate < 1) {
+		return 0, fmt.Errorf("core: rate %g outside (0, 1)", rate)
+	}
+	if !(eps > 0 && eps < 1) {
+		return 0, fmt.Errorf("core: eps %g outside (0, 1)", eps)
+	}
+	return int(math.Ceil(math.Log(eps) / math.Log(rate))), nil
+}

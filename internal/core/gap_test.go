@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+)
+
+func denseSpectrum(t *testing.T, q *mutation.Process, l landscape.Landscape) []float64 {
+	t.Helper()
+	dw, err := NewDenseW(q, l, Symmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := dense.JacobiEigen(dw.M, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestSecondEigenpairMatchesDenseSpectrum(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		const nu = 7
+		q := mutation.MustUniform(nu, 0.02)
+		l := randLandscape(rng.New(seed), nu)
+		vals := denseSpectrum(t, q, l)
+
+		op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+		first, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(first.Lambda-vals[0]) > 1e-9 {
+			t.Fatalf("λ₀ = %g, dense %g", first.Lambda, vals[0])
+		}
+		second, err := SecondEigenpair(op, first.Vector, PowerOptions{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(second.Lambda-vals[1]) > 1e-7 {
+			t.Errorf("seed %d: λ₁ = %.12g, dense %.12g", seed, second.Lambda, vals[1])
+		}
+		// Orthogonality to the dominant vector.
+		var dot float64
+		for i := range second.Vector {
+			dot += second.Vector[i] * first.Vector[i]
+		}
+		if math.Abs(dot) > 1e-8 {
+			t.Errorf("seed %d: x₁ᵀx₀ = %g", seed, dot)
+		}
+	}
+}
+
+func TestSecondEigenpairValidation(t *testing.T) {
+	q := mutation.MustUniform(4, 0.1)
+	l, _ := landscape.NewUniform(4, 1)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	if _, err := SecondEigenpair(op, make([]float64, 8), PowerOptions{}); err == nil {
+		t.Error("wrong dominant length must be rejected")
+	}
+	notUnit := make([]float64, 16)
+	notUnit[0] = 2
+	if _, err := SecondEigenpair(op, notUnit, PowerOptions{}); err == nil {
+		t.Error("non-unit dominant vector must be rejected")
+	}
+	unit := make([]float64, 16)
+	unit[0] = 1
+	if _, err := SecondEigenpair(op, unit, PowerOptions{Start: unit}); err == nil {
+		t.Error("start parallel to dominant must be rejected")
+	}
+}
+
+func TestEstimateGapAndShiftImprovement(t *testing.T) {
+	const nu = 8
+	const p = 0.01
+	q := mutation.MustUniform(nu, p)
+	l := randLandscape(rng.New(5), nu)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	mu := ConservativeShift(q, l)
+	gap, err := EstimateGap(op, mu, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gap.Rate > 0 && gap.Rate < 1) {
+		t.Fatalf("rate %g outside (0,1)", gap.Rate)
+	}
+	// The positive shift must strictly improve the rate: both λ are
+	// positive here, so subtracting µ > 0 shrinks the ratio.
+	if gap.ShiftedRate >= gap.Rate {
+		t.Errorf("shifted rate %g not better than %g", gap.ShiftedRate, gap.Rate)
+	}
+	// Cross-check λ₁ against the dense spectrum.
+	vals := denseSpectrum(t, q, l)
+	if math.Abs(gap.Lambda1-vals[1]) > 1e-7 {
+		t.Errorf("λ₁ = %g, dense %g", gap.Lambda1, vals[1])
+	}
+}
+
+func TestPredictedIterationsMatchMeasured(t *testing.T) {
+	// The gap-based prediction must land within a factor ~2 of the real
+	// iteration count (start-vector overlap shifts the constant).
+	const nu = 9
+	const p = 0.015
+	q := mutation.MustUniform(nu, p)
+	l := randLandscape(rng.New(7), nu)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+
+	gap, err := EstimateGap(op, 0, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-10
+	predicted, err := PredictIterations(gap.Rate, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := PowerIteration(op, PowerOptions{Tol: tol, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := predicted/3, predicted*3+10
+	if measured.Iterations < lo || measured.Iterations > hi {
+		t.Errorf("measured %d iterations, predicted %d (accepted [%d, %d], rate %g)",
+			measured.Iterations, predicted, lo, hi, gap.Rate)
+	}
+	t.Logf("rate %.4f: predicted %d, measured %d", gap.Rate, predicted, measured.Iterations)
+}
+
+func TestPredictIterationsValidation(t *testing.T) {
+	if _, err := PredictIterations(1.5, 0.1); err == nil {
+		t.Error("rate ≥ 1 must be rejected")
+	}
+	if _, err := PredictIterations(0.5, 2); err == nil {
+		t.Error("eps ≥ 1 must be rejected")
+	}
+	n, err := PredictIterations(0.5, 0.25)
+	if err != nil || n != 2 {
+		t.Errorf("PredictIterations(0.5, 0.25) = %d, %v; want 2", n, err)
+	}
+}
+
+func TestGapClosesNearThreshold(t *testing.T) {
+	// The paper's Figure 1 phenomenon in spectral terms: the gap of the
+	// single-peak problem shrinks as p approaches p_max.
+	const nu = 8
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	rate := func(p float64) float64 {
+		q := mutation.MustUniform(nu, p)
+		op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+		gap, err := EstimateGap(op, 0, PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gap.Rate
+	}
+	far := rate(0.01)
+	near := rate(0.07) // p_max ≈ 0.085 at ν = 8
+	if near <= far {
+		t.Errorf("rate near threshold (%g) should exceed rate far below it (%g)", near, far)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// InstrumentedOperator wraps any Operator and counts applications and the
+// time spent in them — the measurement hook the harness uses to attribute
+// solver cost to matrix–vector products versus BLAS-1 overhead (the paper
+// notes the vector summations have "almost no influence on the overall
+// execution time"; this makes that checkable).
+type InstrumentedOperator struct {
+	Base Operator
+
+	applies atomic.Int64
+	nanos   atomic.Int64
+}
+
+// Instrument wraps op.
+func Instrument(op Operator) *InstrumentedOperator {
+	return &InstrumentedOperator{Base: op}
+}
+
+// Dim returns the base operator's dimension.
+func (op *InstrumentedOperator) Dim() int { return op.Base.Dim() }
+
+// Apply delegates to the base operator, recording count and duration.
+func (op *InstrumentedOperator) Apply(dst, src []float64) {
+	start := time.Now()
+	op.Base.Apply(dst, src)
+	op.nanos.Add(int64(time.Since(start)))
+	op.applies.Add(1)
+}
+
+// Applies returns the number of operator applications so far.
+func (op *InstrumentedOperator) Applies() int64 { return op.applies.Load() }
+
+// Elapsed returns the cumulative time spent inside Apply.
+func (op *InstrumentedOperator) Elapsed() time.Duration {
+	return time.Duration(op.nanos.Load())
+}
+
+// Reset zeroes the counters.
+func (op *InstrumentedOperator) Reset() {
+	op.applies.Store(0)
+	op.nanos.Store(0)
+}
+
+// MatvecBytes returns the main-memory traffic of one Fmmp application at
+// dimension n: each of the log₂n butterfly stages reads and writes the
+// full vector (16 bytes per element per stage), the roofline the paper
+// invokes when it attributes GPU performance to memory bandwidth.
+func MatvecBytes(n int) int64 {
+	log := 0
+	for 1<<log < n {
+		log++
+	}
+	return int64(16) * int64(n) * int64(log)
+}
+
+// EffectiveBandwidth converts an instrumented Fmmp operator's counters
+// into achieved bytes/second, comparable against the machine's memory
+// bandwidth.
+func (op *InstrumentedOperator) EffectiveBandwidth() float64 {
+	el := op.Elapsed().Seconds()
+	if el == 0 {
+		return 0
+	}
+	return float64(op.Applies()*MatvecBytes(op.Dim())) / el
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mutation"
+	"repro/internal/rng"
+)
+
+func TestInstrumentedOperatorCounts(t *testing.T) {
+	const nu = 8
+	q := mutation.MustUniform(nu, 0.01)
+	l := randLandscape(rng.New(1), nu)
+	base, _ := NewFmmpOperator(q, l, Right, nil)
+	op := Instrument(base)
+	if op.Dim() != base.Dim() {
+		t.Fatal("Dim not delegated")
+	}
+
+	res, err := PowerIteration(op, PowerOptions{Tol: 1e-10, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.Applies(); got != int64(res.Iterations) {
+		t.Errorf("counted %d applies, solver reports %d iterations", got, res.Iterations)
+	}
+	if op.Elapsed() <= 0 {
+		t.Error("no time recorded")
+	}
+	if op.EffectiveBandwidth() <= 0 {
+		t.Error("no bandwidth derived")
+	}
+	op.Reset()
+	if op.Applies() != 0 || op.Elapsed() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestInstrumentedResultsUnchanged(t *testing.T) {
+	const nu = 7
+	q := mutation.MustUniform(nu, 0.02)
+	l := randLandscape(rng.New(2), nu)
+	base, _ := NewFmmpOperator(q, l, Right, nil)
+	plain, err := PowerIteration(base, PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := PowerIteration(Instrument(base), PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Lambda != wrapped.Lambda || plain.Iterations != wrapped.Iterations {
+		t.Error("instrumentation changed the computation")
+	}
+}
+
+func TestMatvecBytes(t *testing.T) {
+	// 16 bytes per element per stage, log₂N stages.
+	if got := MatvecBytes(1 << 10); got != 16*1024*10 {
+		t.Errorf("MatvecBytes(2^10) = %d", got)
+	}
+	if got := MatvecBytes(1); got != 0 {
+		t.Errorf("MatvecBytes(1) = %d, want 0", got)
+	}
+}

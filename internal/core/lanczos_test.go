@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestLanczosMatchesPowerIteration(t *testing.T) {
+	r := rng.New(1)
+	for _, nu := range []int{5, 8, 10} {
+		q := mutation.MustUniform(nu, 0.01)
+		l := randLandscape(r, nu)
+		op, err := NewFmmpOperator(q, l, Symmetric, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lz, err := Lanczos(op, LanczosOptions{Tol: 1e-12, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatalf("ν=%d: %v", nu, err)
+		}
+		if !lz.Converged {
+			t.Fatalf("ν=%d: Lanczos did not converge", nu)
+		}
+		if math.Abs(lz.Lambda-pi.Lambda) > 1e-9 {
+			t.Errorf("ν=%d: Lanczos λ = %.15g, power λ = %.15g", nu, lz.Lambda, pi.Lambda)
+		}
+		if d := vec.DistInf(lz.Vector, pi.Vector); d > 1e-7 {
+			t.Errorf("ν=%d: eigenvectors differ by %g", nu, d)
+		}
+		t.Logf("ν=%d: Lanczos %d matvecs vs power %d iterations (basis %d bytes)",
+			nu, lz.MatVecs, pi.Iterations, lz.BasisBytes)
+	}
+}
+
+func TestLanczosUsesFewerMatVecsOnHardProblem(t *testing.T) {
+	// Near the error threshold the spectral gap closes and the power
+	// iteration slows dramatically; Lanczos should need far fewer matvecs.
+	const nu = 10
+	q := mutation.MustUniform(nu, 0.04) // close to the single-peak threshold
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	pi, err := PowerIteration(op, PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, err := Lanczos(op, LanczosOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lz.MatVecs >= pi.Iterations {
+		t.Errorf("Lanczos used %d matvecs, power iteration %d — expected Lanczos to win near the threshold",
+			lz.MatVecs, pi.Iterations)
+	}
+	t.Logf("matvecs: Lanczos %d, power %d", lz.MatVecs, pi.Iterations)
+}
+
+func TestLanczosBudgetExhaustion(t *testing.T) {
+	q := mutation.MustUniform(8, 0.03)
+	l, _ := landscape.NewSinglePeak(8, 2, 1)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	res, err := Lanczos(op, LanczosOptions{Tol: 1e-30, BasisSize: 3, MaxRestarts: 2})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+	if res.Restarts != 2 || res.Vector == nil {
+		t.Error("partial result must be populated")
+	}
+}
+
+func TestLanczosBadStart(t *testing.T) {
+	q := mutation.MustUniform(4, 0.1)
+	l, _ := landscape.NewUniform(4, 1)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	if _, err := Lanczos(op, LanczosOptions{Start: make([]float64, 3)}); err == nil {
+		t.Error("wrong start length must error")
+	}
+	if _, err := Lanczos(op, LanczosOptions{Start: make([]float64, 16)}); err == nil {
+		t.Error("zero start must error")
+	}
+}
+
+func TestLanczosBasisLargerThanDim(t *testing.T) {
+	// BasisSize > N must clamp and still work.
+	q := mutation.MustUniform(3, 0.1)
+	l := randLandscape(rng.New(2), 3)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	res, err := Lanczos(op, LanczosOptions{Tol: 1e-12, BasisSize: 100, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("full-dimension Lanczos must converge in one cycle")
+	}
+}
+
+func TestInverseIterationQFindsDominant(t *testing.T) {
+	// With µ just above 1 the nearest eigenvalue of Q is λ = 1 (the
+	// dominant one) whose eigenvector is the constant vector.
+	const nu = 8
+	q := mutation.MustUniform(nu, 0.03)
+	res, err := InverseIterationQ(q, 1.1, PowerOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-1) > 1e-10 {
+		t.Errorf("λ = %g, want 1", res.Lambda)
+	}
+	want := 1 / math.Sqrt(float64(q.Dim()))
+	for i, v := range res.Vector {
+		if math.Abs(v-want) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want constant %g", i, v, want)
+		}
+	}
+}
+
+func TestInverseIterationQFindsInteriorEigenvalue(t *testing.T) {
+	// Target the second eigenvalue (1−2p): any converged eigenpair must
+	// satisfy the residual and have λ = (1−2p).
+	const nu = 6
+	const p = 0.05
+	q := mutation.MustUniform(nu, p)
+	target := 1 - 2*p
+	res, err := InverseIterationQ(q, target+0.003, PowerOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-target) > 1e-9 {
+		t.Errorf("λ = %g, want %g", res.Lambda, target)
+	}
+}
+
+func TestInverseIterationQRejectsNonUniform(t *testing.T) {
+	ps, err := mutation.NewPerSite([]mutation.Factor2{
+		{A: 0.9, B: 0.2, C: 0.1, D: 0.8}, {A: 0.8, B: 0.1, C: 0.2, D: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InverseIterationQ(ps, 0.5, PowerOptions{}); err == nil {
+		t.Error("non-uniform process must be rejected")
+	}
+}
+
+func TestRayleighQuotientIterationQ(t *testing.T) {
+	// Start near the constant vector: RQI must converge to λ = 1 in very
+	// few steps (cubic convergence).
+	const nu = 8
+	q := mutation.MustUniform(nu, 0.02)
+	start := make([]float64, q.Dim())
+	r := rng.New(3)
+	for i := range start {
+		start[i] = 1 + 0.01*(2*r.Float64()-1)
+	}
+	res, err := RayleighQuotientIterationQ(q, start, PowerOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-1) > 1e-10 {
+		t.Errorf("λ = %g, want 1", res.Lambda)
+	}
+	if res.Iterations > 6 {
+		t.Errorf("RQI took %d steps; cubic convergence expected ≤ 6", res.Iterations)
+	}
+}
+
+func TestRayleighQuotientIterationQBadInput(t *testing.T) {
+	q := mutation.MustUniform(4, 0.1)
+	if _, err := RayleighQuotientIterationQ(q, make([]float64, 3), PowerOptions{}); err == nil {
+		t.Error("wrong start length must error")
+	}
+}

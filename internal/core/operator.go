@@ -1,0 +1,331 @@
+// Package core implements the paper's fast quasispecies solver: implicit
+// linear operators for the three equivalent eigenproblem formulations
+// (Eqs. 3–5), the residual-monitored power iteration with the provably safe
+// convergence shift µ = (1−2p)^ν·f_min (Section 3), a restarted Lanczos
+// alternative, and the shift-and-invert iteration for pure mutation
+// matrices. Operators can run serially or on a device (the GPU analogue),
+// and can be backed by any of the matrix–vector products the paper
+// compares: Fmmp, Xmvp(dmax) or dense Smvp.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/vec"
+)
+
+// Formulation selects among the three mathematically equivalent
+// eigenproblems of Eqs. 3–5. Their dominant eigenvalues coincide; the
+// eigenvectors are related by diagonal scalings (see ConvertEigenvector).
+type Formulation int
+
+const (
+	// Right is Q·F·x = λx (Eq. 3). Its eigenvector holds the relative
+	// concentrations of the quasispecies directly.
+	Right Formulation = iota
+	// Symmetric is F^½·Q·F^½·x = λx (Eq. 4), the symmetric positive
+	// definite form used by Lanczos.
+	Symmetric
+	// Left is F·Q·x = λx (Eq. 5).
+	Left
+)
+
+func (f Formulation) String() string {
+	switch f {
+	case Right:
+		return "Q·F"
+	case Symmetric:
+		return "F^1/2·Q·F^1/2"
+	case Left:
+		return "F·Q"
+	default:
+		return fmt.Sprintf("Formulation(%d)", int(f))
+	}
+}
+
+// Operator is an implicitly represented square matrix. Apply computes
+// dst ← A·src; implementations permit dst == src (aliasing) and may use
+// internal scratch, so a given Operator must not be applied concurrently
+// with itself.
+type Operator interface {
+	// Dim returns the operator dimension N.
+	Dim() int
+	// Apply computes dst ← A·src. dst may alias src.
+	Apply(dst, src []float64)
+}
+
+// ---------------------------------------------------------------------------
+// Fmmp-backed operator (the paper's fast path)
+
+// FmmpOperator applies W in one of the three formulations using the fast
+// mutation matrix product — Θ(N·log₂N) per Apply, no matrix storage.
+type FmmpOperator struct {
+	Q    *mutation.Process
+	F    landscape.Landscape
+	Form Formulation
+	Dev  *device.Device // nil for serial execution
+
+	fdiag []float64 // materialized diagonal used by the formulation
+	fsqrt []float64 // √f for the symmetric form (nil otherwise)
+}
+
+// NewFmmpOperator builds the operator; the landscape diagonal is
+// materialized once (Θ(N), as Section 3 notes is unavoidable for general
+// F). dev == nil selects serial execution.
+func NewFmmpOperator(q *mutation.Process, f landscape.Landscape, form Formulation, dev *device.Device) (*FmmpOperator, error) {
+	if q.ChainLen() != f.ChainLen() {
+		return nil, fmt.Errorf("core: mutation ν = %d but landscape ν = %d", q.ChainLen(), f.ChainLen())
+	}
+	op := &FmmpOperator{Q: q, F: f, Form: form, Dev: dev}
+	op.fdiag = landscape.Materialize(f)
+	if form == Symmetric {
+		op.fsqrt = make([]float64, len(op.fdiag))
+		for i, v := range op.fdiag {
+			op.fsqrt[i] = math.Sqrt(v)
+		}
+	}
+	return op, nil
+}
+
+func (op *FmmpOperator) Dim() int { return op.Q.Dim() }
+
+// Apply computes dst ← W·src per the selected formulation.
+func (op *FmmpOperator) Apply(dst, src []float64) {
+	if len(dst) != op.Dim() || len(src) != op.Dim() {
+		panic("core: FmmpOperator.Apply dimension mismatch")
+	}
+	switch op.Form {
+	case Right: // Q·F: scale then transform
+		mulInto(op.Dev, dst, src, op.fdiag)
+		op.applyQ(dst)
+	case Symmetric: // F^½·Q·F^½
+		mulInto(op.Dev, dst, src, op.fsqrt)
+		op.applyQ(dst)
+		mulInto(op.Dev, dst, dst, op.fsqrt)
+	case Left: // F·Q: transform then scale
+		if &dst[0] != &src[0] {
+			copyInto(op.Dev, dst, src)
+		}
+		op.applyQ(dst)
+		mulInto(op.Dev, dst, dst, op.fdiag)
+	default:
+		panic(fmt.Sprintf("core: unknown formulation %d", op.Form))
+	}
+}
+
+func (op *FmmpOperator) applyQ(v []float64) {
+	if op.Dev != nil {
+		op.Q.ApplyDevice(op.Dev, v)
+	} else {
+		op.Q.Apply(v)
+	}
+}
+
+// Fitness returns the materialized fitness diagonal (read-only).
+func (op *FmmpOperator) Fitness() []float64 { return op.fdiag }
+
+// ---------------------------------------------------------------------------
+// Xmvp-backed operator (the baseline of [10])
+
+// XmvpOperator applies W through the XOR-based (sparsified) product.
+// With DMax = ν it is the paper's Smvp-equivalent Θ(N²) reference; smaller
+// DMax gives the approximative baseline.
+type XmvpOperator struct {
+	X    *mutation.Xmvp
+	F    landscape.Landscape
+	Form Formulation
+	Dev  *device.Device
+
+	fdiag   []float64
+	fsqrt   []float64
+	scratch []float64
+}
+
+// NewXmvpOperator builds the operator around an existing Xmvp product.
+func NewXmvpOperator(x *mutation.Xmvp, f landscape.Landscape, form Formulation, dev *device.Device) (*XmvpOperator, error) {
+	if x.ChainLen() != f.ChainLen() {
+		return nil, fmt.Errorf("core: Xmvp ν = %d but landscape ν = %d", x.ChainLen(), f.ChainLen())
+	}
+	op := &XmvpOperator{X: x, F: f, Form: form, Dev: dev}
+	op.fdiag = landscape.Materialize(f)
+	if form == Symmetric {
+		op.fsqrt = make([]float64, len(op.fdiag))
+		for i, v := range op.fdiag {
+			op.fsqrt[i] = math.Sqrt(v)
+		}
+	}
+	op.scratch = make([]float64, x.Dim())
+	return op, nil
+}
+
+func (op *XmvpOperator) Dim() int { return op.X.Dim() }
+
+// Apply computes dst ← W·src per the selected formulation.
+func (op *XmvpOperator) Apply(dst, src []float64) {
+	if len(dst) != op.Dim() || len(src) != op.Dim() {
+		panic("core: XmvpOperator.Apply dimension mismatch")
+	}
+	switch op.Form {
+	case Right:
+		mulInto(op.Dev, op.scratch, src, op.fdiag)
+		op.applyQ(dst, op.scratch)
+	case Symmetric:
+		mulInto(op.Dev, op.scratch, src, op.fsqrt)
+		op.applyQ(dst, op.scratch)
+		mulInto(op.Dev, dst, dst, op.fsqrt)
+	case Left:
+		copyInto(op.Dev, op.scratch, src)
+		op.applyQ(dst, op.scratch)
+		mulInto(op.Dev, dst, dst, op.fdiag)
+	default:
+		panic(fmt.Sprintf("core: unknown formulation %d", op.Form))
+	}
+}
+
+func (op *XmvpOperator) applyQ(dst, src []float64) {
+	if op.Dev != nil {
+		op.X.ApplyDevice(op.Dev, dst, src)
+	} else {
+		op.X.Apply(dst, src)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dense operator (explicit Smvp)
+
+// DenseOperator wraps an explicitly stored matrix — the textbook Smvp with
+// Θ(N²) storage and time. Only feasible for small ν; it is the ground
+// truth the fast paths are verified against.
+type DenseOperator struct {
+	M       *dense.Matrix
+	scratch []float64
+}
+
+// NewDenseOperator wraps m, which must be square.
+func NewDenseOperator(m *dense.Matrix) (*DenseOperator, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("core: dense operator must be square, got %d×%d", m.Rows, m.Cols)
+	}
+	return &DenseOperator{M: m, scratch: make([]float64, m.Rows)}, nil
+}
+
+// NewDenseW materializes W for the given formulation from Q and F — the
+// fully explicit baseline.
+func NewDenseW(q *mutation.Process, f landscape.Landscape, form Formulation) (*DenseOperator, error) {
+	if q.ChainLen() != f.ChainLen() {
+		return nil, fmt.Errorf("core: mutation ν = %d but landscape ν = %d", q.ChainLen(), f.ChainLen())
+	}
+	m := q.Dense()
+	fd := landscape.Materialize(f)
+	switch form {
+	case Right:
+		m.ScaleColumns(fd)
+	case Symmetric:
+		s := make([]float64, len(fd))
+		for i, v := range fd {
+			s[i] = math.Sqrt(v)
+		}
+		m.ScaleColumns(s)
+		m.ScaleRows(s)
+	case Left:
+		m.ScaleRows(fd)
+	default:
+		return nil, fmt.Errorf("core: unknown formulation %d", form)
+	}
+	return NewDenseOperator(m)
+}
+
+func (op *DenseOperator) Dim() int { return op.M.Rows }
+
+// Apply computes dst ← M·src; aliasing is handled through a scratch copy.
+func (op *DenseOperator) Apply(dst, src []float64) {
+	if &dst[0] == &src[0] {
+		copy(op.scratch, src)
+		op.M.MatVec(dst, op.scratch)
+		return
+	}
+	op.M.MatVec(dst, src)
+}
+
+// ---------------------------------------------------------------------------
+// Shifted operator and eigenvector conversions
+
+// ShiftedOperator applies A − µI for a base operator A. Shifting the
+// spectrum accelerates the power iteration (Section 3).
+type ShiftedOperator struct {
+	Base Operator
+	Mu   float64
+	Dev  *device.Device
+}
+
+func (op *ShiftedOperator) Dim() int { return op.Base.Dim() }
+
+// Apply computes dst ← A·src − µ·src. dst may alias src.
+func (op *ShiftedOperator) Apply(dst, src []float64) {
+	if &dst[0] == &src[0] {
+		// In-place: need the original src for the shift term.
+		tmp := vec.Clone(src)
+		op.Base.Apply(dst, tmp)
+		axpyInto(op.Dev, -op.Mu, tmp, dst)
+		return
+	}
+	op.Base.Apply(dst, src)
+	axpyInto(op.Dev, -op.Mu, src, dst)
+}
+
+// ConvertEigenvector converts the dominant eigenvector between the three
+// formulations using xR = F^(−½)·xS, xS = F^(−½)·xL, xR = F^(−1)·xL
+// (Section 1.1). The conversion happens in place on x.
+func ConvertEigenvector(x []float64, from, to Formulation, f landscape.Landscape) error {
+	if len(x) != f.Dim() {
+		return fmt.Errorf("core: eigenvector length %d does not match landscape dimension %d", len(x), f.Dim())
+	}
+	if from == to {
+		return nil
+	}
+	// Express both forms on the exponent scale of F: xR ~ F^0·xR,
+	// xS = F^(½)·xR, xL = F^1·xR ⇒ x_to = F^(e_to − e_from)·x_from.
+	exp := map[Formulation]float64{Right: 0, Symmetric: 0.5, Left: 1}
+	eFrom, okF := exp[from]
+	eTo, okT := exp[to]
+	if !okF || !okT {
+		return fmt.Errorf("core: unknown formulation in conversion %v→%v", from, to)
+	}
+	d := eTo - eFrom
+	for i := range x {
+		x[i] *= math.Pow(f.At(uint64(i)), d)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// small helpers (serial or device execution)
+
+func mulInto(dev *device.Device, dst, a, b []float64) {
+	if dev != nil {
+		dev.Mul(dst, a, b)
+	} else {
+		vec.Mul(dst, a, b)
+	}
+}
+
+func copyInto(dev *device.Device, dst, src []float64) {
+	if dev != nil {
+		dev.Copy(dst, src)
+	} else {
+		copy(dst, src)
+	}
+}
+
+func axpyInto(dev *device.Device, a float64, x, y []float64) {
+	if dev != nil {
+		dev.AXPY(a, x, y)
+	} else {
+		vec.AXPY(a, x, y)
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func randVector(r *rng.Source, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*r.Float64() - 1
+	}
+	return v
+}
+
+func randLandscape(r *rng.Source, nu int) landscape.Landscape {
+	l, err := landscape.NewRandom(nu, 5, 1, r.Uint64())
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+var allForms = []Formulation{Right, Symmetric, Left}
+
+func TestFmmpOperatorMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nu := 1 + int(r.Uint64n(8))
+		p := 0.001 + 0.4*r.Float64()
+		q := mutation.MustUniform(nu, p)
+		l := randLandscape(r, nu)
+		v := randVector(r, q.Dim())
+		for _, form := range allForms {
+			want := make([]float64, q.Dim())
+			dw, err := NewDenseW(q, l, form)
+			if err != nil {
+				return false
+			}
+			dw.Apply(want, v)
+
+			op, err := NewFmmpOperator(q, l, form, nil)
+			if err != nil {
+				return false
+			}
+			got := make([]float64, q.Dim())
+			op.Apply(got, v)
+			if vec.DistInf(got, want) > 1e-11 {
+				return false
+			}
+			// Aliased application must agree too.
+			aliased := vec.Clone(v)
+			op.Apply(aliased, aliased)
+			if vec.DistInf(aliased, want) > 1e-11 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXmvpOperatorMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nu := 1 + int(r.Uint64n(8))
+		p := 0.001 + 0.4*r.Float64()
+		l := randLandscape(r, nu)
+		x := mutation.MustXmvp(nu, p, nu)
+		q := mutation.MustUniform(nu, p)
+		v := randVector(r, x.Dim())
+		for _, form := range allForms {
+			want := make([]float64, x.Dim())
+			dw, err := NewDenseW(q, l, form)
+			if err != nil {
+				return false
+			}
+			dw.Apply(want, v)
+
+			op, err := NewXmvpOperator(x, l, form, nil)
+			if err != nil {
+				return false
+			}
+			got := make([]float64, x.Dim())
+			op.Apply(got, v)
+			if vec.DistInf(got, want) > 1e-11 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperatorsOnDeviceMatchSerial(t *testing.T) {
+	r := rng.New(11)
+	const nu = 9
+	q := mutation.MustUniform(nu, 0.01)
+	l := randLandscape(r, nu)
+	v := randVector(r, q.Dim())
+	dev := device.New(4, device.WithGrain(16))
+	for _, form := range allForms {
+		serialOp, err := NewFmmpOperator(q, l, form, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devOp, err := NewFmmpOperator(q, l, form, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := make([]float64, q.Dim()), make([]float64, q.Dim())
+		serialOp.Apply(a, v)
+		devOp.Apply(b, v)
+		if vec.DistInf(a, b) != 0 {
+			t.Errorf("form %v: device operator differs from serial", form)
+		}
+	}
+}
+
+func TestShiftedOperator(t *testing.T) {
+	r := rng.New(3)
+	const nu = 6
+	q := mutation.MustUniform(nu, 0.02)
+	l := randLandscape(r, nu)
+	base, err := NewFmmpOperator(q, l, Right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 0.37
+	sh := &ShiftedOperator{Base: base, Mu: mu}
+	if sh.Dim() != q.Dim() {
+		t.Fatal("shifted dim wrong")
+	}
+	v := randVector(r, q.Dim())
+	want := make([]float64, q.Dim())
+	base.Apply(want, v)
+	vec.AXPY(-mu, v, want)
+	got := make([]float64, q.Dim())
+	sh.Apply(got, v)
+	if vec.DistInf(got, want) > 1e-13 {
+		t.Error("out-of-place shifted apply wrong")
+	}
+	inPlace := vec.Clone(v)
+	sh.Apply(inPlace, inPlace)
+	if vec.DistInf(inPlace, want) > 1e-13 {
+		t.Error("in-place shifted apply wrong")
+	}
+}
+
+func TestConvertEigenvectorConsistency(t *testing.T) {
+	// Solve the same problem in all three formulations; after conversion
+	// to Right, all eigenvectors must agree up to scale.
+	r := rng.New(7)
+	const nu = 7
+	q := mutation.MustUniform(nu, 0.01)
+	l := randLandscape(r, nu)
+	ref := make([]float64, 0)
+	for _, form := range allForms {
+		op, err := NewFmmpOperator(q, l, form, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatalf("form %v: %v", form, err)
+		}
+		x := res.Vector
+		if err := ConvertEigenvector(x, form, Right, l); err != nil {
+			t.Fatal(err)
+		}
+		vec.Normalize1(x)
+		if form == Right {
+			ref = vec.Clone(x)
+			continue
+		}
+		if d := vec.DistInf(x, ref); d > 1e-8 {
+			t.Errorf("form %v converted eigenvector differs from Right by %g", form, d)
+		}
+	}
+}
+
+func TestConvertEigenvectorRoundTrip(t *testing.T) {
+	r := rng.New(8)
+	l := randLandscape(r, 5)
+	x := randVector(r, 32)
+	orig := vec.Clone(x)
+	for _, a := range allForms {
+		for _, b := range allForms {
+			y := vec.Clone(orig)
+			if err := ConvertEigenvector(y, a, b, l); err != nil {
+				t.Fatal(err)
+			}
+			if err := ConvertEigenvector(y, b, a, l); err != nil {
+				t.Fatal(err)
+			}
+			if vec.DistInf(y, orig) > 1e-11 {
+				t.Errorf("round trip %v→%v→%v deviates by %g", a, b, a, vec.DistInf(y, orig))
+			}
+		}
+	}
+}
+
+func TestConvertEigenvectorLengthMismatch(t *testing.T) {
+	l, _ := landscape.NewUniform(4, 1)
+	if err := ConvertEigenvector(make([]float64, 8), Right, Left, l); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestFormulationString(t *testing.T) {
+	for _, f := range allForms {
+		if f.String() == "" {
+			t.Error("empty formulation name")
+		}
+	}
+	if Formulation(99).String() == "" {
+		t.Error("unknown formulation must still render")
+	}
+}
+
+func TestOperatorConstructorsRejectMismatch(t *testing.T) {
+	q := mutation.MustUniform(4, 0.1)
+	l, _ := landscape.NewUniform(5, 1)
+	if _, err := NewFmmpOperator(q, l, Right, nil); err == nil {
+		t.Error("ν mismatch must be rejected (Fmmp)")
+	}
+	x := mutation.MustXmvp(4, 0.1, 2)
+	if _, err := NewXmvpOperator(x, l, Right, nil); err == nil {
+		t.Error("ν mismatch must be rejected (Xmvp)")
+	}
+	if _, err := NewDenseW(q, l, Right); err == nil {
+		t.Error("ν mismatch must be rejected (dense)")
+	}
+}
+
+func TestSymmetricFormIsSymmetric(t *testing.T) {
+	r := rng.New(9)
+	q := mutation.MustUniform(5, 0.03)
+	l := randLandscape(r, 5)
+	dw, err := NewDenseW(q, l, Symmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dw.M.IsSymmetric(1e-12) {
+		t.Error("F^½QF^½ must be symmetric")
+	}
+	// The Right form generally is not.
+	dr, _ := NewDenseW(q, l, Right)
+	if dr.M.IsSymmetric(1e-12) {
+		t.Error("Q·F with a random landscape should not be symmetric")
+	}
+}
+
+func TestAllFormulationsShareSpectrum(t *testing.T) {
+	r := rng.New(10)
+	q := mutation.MustUniform(6, 0.02)
+	l := randLandscape(r, 6)
+	var lams []float64
+	for _, form := range allForms {
+		op, _ := NewFmmpOperator(q, l, form, nil)
+		res, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatalf("form %v: %v", form, err)
+		}
+		lams = append(lams, res.Lambda)
+	}
+	for i := 1; i < len(lams); i++ {
+		if math.Abs(lams[i]-lams[0]) > 1e-9 {
+			t.Errorf("dominant eigenvalues differ across formulations: %v", lams)
+		}
+	}
+}

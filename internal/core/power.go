@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/vec"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before the residual falls below the tolerance. The
+// partial result is still returned alongside it.
+var ErrNoConvergence = errors.New("core: iteration budget exhausted before convergence")
+
+// ErrStagnated is returned when the residual stops improving above the
+// tolerance — the iterate has hit the floating-point floor of the
+// operator. The returned result holds the best attained eigenpair, which
+// is typically accurate to near machine precision; callers that find the
+// attained residual acceptable can use it directly.
+var ErrStagnated = errors.New("core: residual stagnated above the tolerance (floating-point floor reached)")
+
+// PowerOptions configures the power iteration.
+type PowerOptions struct {
+	// Tol is the residual threshold τ: the iteration stops when
+	// R(λ̃, x̃) = ‖W·x̃ − λ̃·x̃‖₂ ≤ τ for the 2-norm-normalized iterate,
+	// matching the paper's stopping criterion. Default 1e-13.
+	Tol float64
+	// MaxIter caps the number of matrix–vector products. Default 500000.
+	MaxIter int
+	// Shift is the spectral shift µ ≥ 0; the iteration runs on W − µI,
+	// improving the rate from λ₁/λ₀ to (λ₁−µ)/(λ₀−µ). Use
+	// ConservativeShift for the paper's provably safe choice. Default 0.
+	Shift float64
+	// Start is the starting vector; it is copied, not mutated. The paper
+	// recommends diag(F)/‖diag(F)‖₁ (see FitnessStart). Default: uniform.
+	Start []float64
+	// Dev selects device-parallel BLAS-1 operations; nil runs serially.
+	// (The operator's own device is configured on the operator.)
+	Dev *device.Device
+	// CheckEvery controls how often the residual is evaluated (every
+	// iteration by default). Residual checks cost one pass over the
+	// vectors but no extra operator application.
+	CheckEvery int
+	// StallChecks is the number of consecutive residual checks without
+	// measurable improvement (relative 1e-6 — at the floating-point floor
+	// the residual is flat to machine precision, while even a barely
+	// converging iteration improves faster) after which the iteration
+	// stops with ErrStagnated instead of burning the remaining budget.
+	// Default 100; negative disables the guard.
+	StallChecks int
+	// Monitor, when non-nil, receives (iteration, λ̃, residual) after each
+	// residual check. Returning false aborts with ErrNoConvergence.
+	Monitor func(iter int, lambda, residual float64) bool
+}
+
+// PowerResult is the outcome of a power iteration.
+type PowerResult struct {
+	// Lambda is the dominant eigenvalue estimate of the *unshifted*
+	// operator.
+	Lambda float64
+	// Vector is the dominant eigenvector, normalized to unit 2-norm with
+	// non-negative orientation.
+	Vector []float64
+	// Iterations is the number of operator applications performed.
+	Iterations int
+	// Residual is the final ‖W·x − λ·x‖₂.
+	Residual float64
+	// Converged reports whether Residual ≤ Tol was reached.
+	Converged bool
+}
+
+// PowerIteration computes the dominant eigenpair of op with the (optionally
+// shifted) power method. For the quasispecies matrices W the dominant
+// eigenvalue is simple and positive (Perron–Frobenius on a positive
+// matrix), so convergence from any positive start vector is guaranteed
+// (Section 3). It returns the partial result with ErrNoConvergence when
+// MaxIter is exhausted.
+func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
+	n := op.Dim()
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500000
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	stallChecks := opts.StallChecks
+	if stallChecks == 0 {
+		stallChecks = 100
+	}
+	mu := opts.Shift
+	dev := opts.Dev
+
+	x := make([]float64, n)
+	if opts.Start != nil {
+		if len(opts.Start) != n {
+			return PowerResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
+		}
+		copy(x, opts.Start)
+	} else {
+		vec.Fill(x, 1)
+	}
+	nrm := norm2(dev, x)
+	if nrm == 0 {
+		return PowerResult{}, errors.New("core: start vector is zero")
+	}
+	scale(dev, x, 1/nrm)
+
+	w := make([]float64, n)
+	res := PowerResult{Vector: x}
+	bestResidual := math.Inf(1)
+	stalled := 0
+	for iter := 1; iter <= maxIter; iter++ {
+		op.Apply(w, x)
+		if mu != 0 {
+			axpyInto(dev, -mu, x, w) // w ← (W − µI)·x
+		}
+		res.Iterations = iter
+		// Rayleigh quotient of the *shifted* operator for unit x.
+		lamShifted := dot(dev, x, w)
+		res.Lambda = lamShifted + mu
+		if iter%checkEvery == 0 || iter == maxIter {
+			// Residual of the shifted pair equals that of the unshifted
+			// pair: Wx − λx = (W−µI)x − (λ−µ)x.
+			r := residual(dev, w, x, lamShifted)
+			res.Residual = r
+			if opts.Monitor != nil && !opts.Monitor(iter, res.Lambda, r) {
+				finish(dev, &res, x)
+				return res, fmt.Errorf("%w: aborted by monitor at iteration %d", ErrNoConvergence, iter)
+			}
+			if r <= tol {
+				res.Converged = true
+				finish(dev, &res, x)
+				return res, nil
+			}
+			if stallChecks > 0 {
+				if r < bestResidual*(1-1e-6) {
+					bestResidual = r
+					stalled = 0
+				} else if stalled++; stalled >= stallChecks {
+					finish(dev, &res, x)
+					return res, fmt.Errorf("%w: residual %g after %d iterations (tol %g)",
+						ErrStagnated, r, iter, tol)
+				}
+			}
+		}
+		nrm = norm2(dev, w)
+		if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+			finish(dev, &res, x)
+			return res, fmt.Errorf("core: iteration broke down at step %d (‖w‖ = %g)", iter, nrm)
+		}
+		inv := 1 / nrm
+		// x ← w/‖w‖.
+		if dev != nil {
+			dev.LaunchRange(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					x[i] = w[i] * inv
+				}
+			})
+		} else {
+			for i := range x {
+				x[i] = w[i] * inv
+			}
+		}
+	}
+	finish(dev, &res, x)
+	return res, fmt.Errorf("%w after %d iterations (residual %g, tol %g)",
+		ErrNoConvergence, res.Iterations, res.Residual, tol)
+}
+
+func finish(dev *device.Device, res *PowerResult, x []float64) {
+	orientPositive(x)
+	res.Vector = x
+	_ = dev
+}
+
+// orientPositive flips x so its absolutely largest entry is positive.
+func orientPositive(x []float64) {
+	idx, m := 0, 0.0
+	for i, v := range x {
+		if a := math.Abs(v); a > m {
+			idx, m = i, a
+		}
+	}
+	if x[idx] < 0 {
+		vec.Scale(x, -1)
+	}
+}
+
+// ConservativeShift returns the paper's provably safe shift
+// µ = (1−2p)^ν · f_min for W = Q·F with a uniform-rate process: Section 3
+// shows λ_min(W) ≥ (1−2p)^ν·f_min via ‖W⁻¹‖₁ ≤ ‖F⁻¹‖₁·‖Q⁻¹‖₁, so
+// subtracting µ keeps λ₀ − µ the dominant eigenvalue. A positive lower
+// bound on f_min (from Landscape.Bounds) yields a smaller, still-valid
+// shift.
+func ConservativeShift(q *mutation.Process, f landscape.Landscape) float64 {
+	p, ok := q.Uniform()
+	if !ok {
+		// Without the closed-form inverse bound no shift is justified.
+		return 0
+	}
+	fmin, _ := f.Bounds()
+	return math.Pow(1-2*p, float64(q.ChainLen())) * fmin
+}
+
+// FitnessStart returns the paper's starting vector
+// s = diag(F)/‖diag(F)‖₁, chosen because the dominant eigenvector of
+// W = Q·F resembles the landscape itself (the dominant eigenvector of Q
+// alone is the constant vector).
+func FitnessStart(f landscape.Landscape) []float64 {
+	s := landscape.Materialize(f)
+	vec.Normalize1(s)
+	return s
+}
+
+// UpperBoundLambda returns the paper's bound λ₀ ≤ ‖W‖₁ ≤ f_max.
+func UpperBoundLambda(f landscape.Landscape) float64 {
+	_, fmax := f.Bounds()
+	return fmax
+}
+
+// DefaultTolerance returns a residual tolerance matched to the attainable
+// floating-point floor of the problem: ‖W·x − λx‖₂ for a unit-norm x
+// cannot reliably drop below ≈ ε·‖W‖·√N of accumulated rounding, so the
+// default is max(1e−12, 64·ε·f_max·√N). Pass an explicit tolerance to
+// override.
+func DefaultTolerance(f landscape.Landscape) float64 {
+	_, fmax := f.Bounds()
+	floor := 64 * 2.220446049250313e-16 * fmax * math.Sqrt(float64(f.Dim()))
+	return math.Max(1e-12, floor)
+}
+
+// ---------------------------------------------------------------------------
+// device-or-serial BLAS-1 helpers
+
+func dot(dev *device.Device, x, y []float64) float64 {
+	if dev != nil {
+		return dev.Dot(x, y)
+	}
+	return vec.Dot(x, y)
+}
+
+func norm2(dev *device.Device, x []float64) float64 {
+	if dev != nil {
+		return dev.Norm2(x)
+	}
+	return vec.Norm2(x)
+}
+
+func scale(dev *device.Device, x []float64, a float64) {
+	if dev != nil {
+		dev.Scale(x, a)
+	} else {
+		vec.Scale(x, a)
+	}
+}
+
+func residual(dev *device.Device, w, x []float64, lambda float64) float64 {
+	if dev != nil {
+		return dev.ResidualNorm2(w, x, lambda)
+	}
+	var s float64
+	for i, wi := range w {
+		r := wi - lambda*x[i]
+		s += r * r
+	}
+	return math.Sqrt(s)
+}

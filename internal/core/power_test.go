@@ -1,0 +1,413 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func solveDenseReference(t *testing.T, q *mutation.Process, l landscape.Landscape) (float64, []float64) {
+	t.Helper()
+	dw, err := NewDenseW(q, l, Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, x, _, err := dense.Dominant(dw.M, &dense.DominantOptions{Tol: 1e-13, MaxIter: 2000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lam, x
+}
+
+func TestPowerIterationMatchesDenseReference(t *testing.T) {
+	r := rng.New(1)
+	for _, nu := range []int{3, 6, 9} {
+		q := mutation.MustUniform(nu, 0.01)
+		l := randLandscape(r, nu)
+		wantLam, wantX := solveDenseReference(t, q, l)
+
+		op, err := NewFmmpOperator(q, l, Right, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatalf("ν=%d: %v", nu, err)
+		}
+		if !res.Converged || res.Residual > 1e-12 {
+			t.Errorf("ν=%d: not converged (residual %g)", nu, res.Residual)
+		}
+		if math.Abs(res.Lambda-wantLam) > 1e-9 {
+			t.Errorf("ν=%d: λ = %.15g, want %.15g", nu, res.Lambda, wantLam)
+		}
+		if d := vec.DistInf(res.Vector, wantX); d > 1e-7 {
+			t.Errorf("ν=%d: eigenvector deviates by %g", nu, d)
+		}
+	}
+}
+
+func TestPowerIterationDeviceMatchesSerial(t *testing.T) {
+	r := rng.New(2)
+	const nu = 10
+	q := mutation.MustUniform(nu, 0.01)
+	l := randLandscape(r, nu)
+	dev := device.New(4, device.WithGrain(64))
+
+	serialOp, _ := NewFmmpOperator(q, l, Right, nil)
+	serialRes, err := PowerIteration(serialOp, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devOp, _ := NewFmmpOperator(q, l, Right, dev)
+	devRes, err := PowerIteration(devOp, PowerOptions{Tol: 1e-12, Start: FitnessStart(l), Dev: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serialRes.Lambda-devRes.Lambda) > 1e-11 {
+		t.Errorf("λ differs: serial %.15g device %.15g", serialRes.Lambda, devRes.Lambda)
+	}
+	if d := vec.DistInf(serialRes.Vector, devRes.Vector); d > 1e-9 {
+		t.Errorf("eigenvectors differ by %g", d)
+	}
+}
+
+func TestPowerIterationPerronProperties(t *testing.T) {
+	// The computed eigenvector must be (numerically) non-negative and the
+	// eigenvalue within the paper's bounds (1−2p)^ν·f_min ≤ λ ≤ f_max.
+	r := rng.New(3)
+	const nu = 8
+	const p = 0.02
+	q := mutation.MustUniform(nu, p)
+	l := randLandscape(r, nu)
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	res, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.AllNonNegative(res.Vector, 1e-10) {
+		t.Error("Perron vector has significant negative entries")
+	}
+	lo := ConservativeShift(q, l)
+	hi := UpperBoundLambda(l)
+	if res.Lambda < lo || res.Lambda > hi {
+		t.Errorf("λ = %g outside [%g, %g]", res.Lambda, lo, hi)
+	}
+}
+
+func TestShiftReducesIterations(t *testing.T) {
+	// Section 3: the conservative shift µ = (1−2p)^ν·f_min reduces the
+	// iteration count by "about ten percent and more" on random landscapes.
+	r := rng.New(4)
+	totalPlain, totalShifted := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		const nu = 10
+		const p = 0.01
+		q := mutation.MustUniform(nu, p)
+		l, err := landscape.NewRandom(nu, 5, 1, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, _ := NewFmmpOperator(q, l, Right, nil)
+		plain, err := PowerIteration(op, PowerOptions{Tol: 1e-10, Start: FitnessStart(l)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := ConservativeShift(q, l)
+		if mu <= 0 {
+			t.Fatal("conservative shift must be positive for uniform processes")
+		}
+		shifted, err := PowerIteration(op, PowerOptions{Tol: 1e-10, Start: FitnessStart(l), Shift: mu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain.Lambda-shifted.Lambda) > 1e-8 {
+			t.Fatalf("shifted iteration converged to a different eigenvalue: %g vs %g",
+				shifted.Lambda, plain.Lambda)
+		}
+		totalPlain += plain.Iterations
+		totalShifted += shifted.Iterations
+	}
+	if totalShifted >= totalPlain {
+		t.Errorf("shift did not reduce iterations: %d (shifted) vs %d (plain)", totalShifted, totalPlain)
+	}
+	t.Logf("iterations: plain %d, shifted %d (%.1f%% reduction)",
+		totalPlain, totalShifted, 100*(1-float64(totalShifted)/float64(totalPlain)))
+}
+
+func TestConservativeShiftFormula(t *testing.T) {
+	q := mutation.MustUniform(10, 0.01)
+	l, _ := landscape.NewSinglePeak(10, 2, 1)
+	want := math.Pow(0.98, 10) * 1.0
+	if got := ConservativeShift(q, l); math.Abs(got-want) > 1e-15 {
+		t.Errorf("shift = %g, want %g", got, want)
+	}
+	// Non-uniform processes get no shift.
+	ps, err := mutation.NewPerSite([]mutation.Factor2{
+		{A: 0.9, B: 0.2, C: 0.1, D: 0.8}, {A: 0.8, B: 0.1, C: 0.2, D: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := landscape.NewUniform(2, 1)
+	if got := ConservativeShift(ps, l2); got != 0 {
+		t.Errorf("non-uniform shift = %g, want 0", got)
+	}
+}
+
+func TestShiftIsBelowSmallestEigenvalue(t *testing.T) {
+	// λ_min(W) ≥ (1−2p)^ν·f_min: verify on small dense symmetric forms.
+	r := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		nu := 2 + int(r.Uint64n(5))
+		p := 0.001 + 0.4*r.Float64()
+		q := mutation.MustUniform(nu, p)
+		l := randLandscape(r, nu)
+		dw, err := NewDenseW(q, l, Symmetric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, _, err := dense.JacobiEigen(dw.M, 1e-14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := ConservativeShift(q, l)
+		lamMin := vals[len(vals)-1]
+		if lamMin < mu*(1-1e-10) {
+			t.Errorf("λ_min = %g < µ = %g (ν=%d, p=%g)", lamMin, mu, nu, p)
+		}
+	}
+}
+
+func TestUniformLimits(t *testing.T) {
+	// Equal fitness ⇒ W is a positive multiple of a bistochastic matrix
+	// and the quasispecies is the uniform distribution, for every p.
+	for _, p := range []float64{0.01, 0.25, 0.5} {
+		const nu = 6
+		q := mutation.MustUniform(nu, p)
+		l, _ := landscape.NewUniform(nu, 3)
+		op, _ := NewFmmpOperator(q, l, Right, nil)
+		res, err := PowerIteration(op, PowerOptions{Tol: 1e-13})
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		// λ must equal the common fitness value.
+		if math.Abs(res.Lambda-3) > 1e-10 {
+			t.Errorf("p=%g: λ = %g, want 3", p, res.Lambda)
+		}
+		want := 1 / math.Sqrt(float64(q.Dim()))
+		for i, v := range res.Vector {
+			if math.Abs(v-want) > 1e-9 {
+				t.Fatalf("p=%g: x[%d] = %g, want uniform %g", p, i, v, want)
+			}
+		}
+	}
+
+	// p = ½ ⇒ random replication: uniform distribution for any landscape.
+	const nu = 6
+	q := mutation.MustUniform(nu, 0.5)
+	l := randLandscape(rng.New(6), nu)
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	res, err := PowerIteration(op, PowerOptions{Tol: 1e-13, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vec.Clone(res.Vector)
+	if err := Concentrations(x); err != nil {
+		t.Fatal(err)
+	}
+	wantC := 1 / float64(q.Dim())
+	for i, v := range x {
+		if math.Abs(v-wantC) > 1e-9 {
+			t.Fatalf("p=1/2: concentration[%d] = %g, want uniform %g", i, v, wantC)
+		}
+	}
+}
+
+func TestPowerIterationMonitorAbort(t *testing.T) {
+	q := mutation.MustUniform(8, 0.01)
+	l := randLandscape(rng.New(7), 8)
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	calls := 0
+	_, err := PowerIteration(op, PowerOptions{
+		Tol:   1e-15,
+		Start: FitnessStart(l),
+		Monitor: func(iter int, lambda, residual float64) bool {
+			calls++
+			return calls < 3
+		},
+	})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence from monitor abort", err)
+	}
+	if calls != 3 {
+		t.Errorf("monitor called %d times, want 3", calls)
+	}
+}
+
+func TestPowerIterationMaxIterExceeded(t *testing.T) {
+	q := mutation.MustUniform(8, 0.01)
+	l := randLandscape(rng.New(8), 8)
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	res, err := PowerIteration(op, PowerOptions{Tol: 1e-16, MaxIter: 3, Start: FitnessStart(l)})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+	if res.Iterations != 3 || res.Converged {
+		t.Errorf("partial result: iters=%d converged=%v", res.Iterations, res.Converged)
+	}
+	if res.Vector == nil || res.Lambda == 0 {
+		t.Error("partial result must still carry the current estimate")
+	}
+}
+
+func TestPowerIterationBadStart(t *testing.T) {
+	q := mutation.MustUniform(4, 0.01)
+	l, _ := landscape.NewUniform(4, 1)
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	if _, err := PowerIteration(op, PowerOptions{Start: make([]float64, 5)}); err == nil {
+		t.Error("wrong start length must error")
+	}
+	if _, err := PowerIteration(op, PowerOptions{Start: make([]float64, 16)}); err == nil {
+		t.Error("zero start vector must error")
+	}
+}
+
+func TestPowerIterationCheckEvery(t *testing.T) {
+	q := mutation.MustUniform(8, 0.01)
+	l := randLandscape(rng.New(9), 8)
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	checks := 0
+	res, err := PowerIteration(op, PowerOptions{
+		Tol: 1e-11, Start: FitnessStart(l), CheckEvery: 10,
+		Monitor: func(int, float64, float64) bool { checks++; return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations%10 != 0 {
+		t.Errorf("with CheckEvery=10 convergence can only be observed on multiples of 10, got %d", res.Iterations)
+	}
+	if checks != res.Iterations/10 {
+		t.Errorf("monitor called %d times for %d iterations", checks, res.Iterations)
+	}
+}
+
+func TestFitnessStart(t *testing.T) {
+	l, _ := landscape.NewSinglePeak(4, 2, 1)
+	s := FitnessStart(l)
+	if math.Abs(vec.Sum(s)-1) > 1e-14 {
+		t.Error("start vector must have unit 1-norm")
+	}
+	if s[0] <= s[1] {
+		t.Error("start vector must reflect the landscape's shape")
+	}
+}
+
+func TestConcentrations(t *testing.T) {
+	x := []float64{0.3, -1e-14, 0.7, 0.5}
+	if err := Concentrations(x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vec.Sum(x)-1) > 1e-14 {
+		t.Error("concentrations must sum to 1")
+	}
+	if x[1] != 0 {
+		t.Error("tiny negatives must clamp to zero")
+	}
+	bad := []float64{1, -0.5}
+	if err := Concentrations(bad); err == nil {
+		t.Error("significant negatives must error")
+	}
+	if err := Concentrations([]float64{0, 0}); err == nil {
+		t.Error("zero vector must error")
+	}
+}
+
+func TestClassConcentrations(t *testing.T) {
+	const nu = 3
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 0.125
+	}
+	gamma, err := ClassConcentrations(nu, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform distribution: [Γk] = C(ν,k)/N.
+	want := []float64{0.125, 0.375, 0.375, 0.125}
+	for k := range want {
+		if math.Abs(gamma[k]-want[k]) > 1e-14 {
+			t.Errorf("[Γ%d] = %g, want %g", k, gamma[k], want[k])
+		}
+	}
+	if _, err := ClassConcentrations(4, x); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+}
+
+func TestClassConcentrationsAbout(t *testing.T) {
+	const nu = 3
+	x := []float64{1, 0, 0, 0, 0, 0, 0, 0}
+	center := uint64(0b101)
+	gamma, err := ClassConcentrationsAbout(nu, x, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All mass at sequence 0, which is at distance 2 from 0b101.
+	for k, g := range gamma {
+		want := 0.0
+		if k == 2 {
+			want = 1
+		}
+		if math.Abs(g-want) > 1e-15 {
+			t.Errorf("[Γ%d] = %g, want %g", k, g, want)
+		}
+	}
+	if _, err := ClassConcentrationsAbout(nu, x, 99); err == nil {
+		t.Error("out-of-space center must error")
+	}
+}
+
+func TestPowerIterationNonUniformProcess(t *testing.T) {
+	// The general per-site model solves through the same pipeline
+	// (Section 2.2) — verify against the dense reference.
+	r := rng.New(12)
+	const nu = 6
+	factors := make([]mutation.Factor2, nu)
+	for i := range factors {
+		c0 := 0.02 + 0.1*r.Float64()
+		c1 := 0.02 + 0.1*r.Float64()
+		factors[i] = mutation.Factor2{A: 1 - c0, B: c1, C: c0, D: 1 - c1}
+	}
+	q, err := mutation.NewPerSite(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := randLandscape(r, nu)
+	dw, err := NewDenseW(q, l, Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLam, wantX, _, err := dense.Dominant(dw.M, &dense.DominantOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := NewFmmpOperator(q, l, Right, nil)
+	res, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-wantLam) > 1e-9 {
+		t.Errorf("λ = %g, want %g", res.Lambda, wantLam)
+	}
+	if d := vec.DistInf(res.Vector, wantX); d > 1e-7 {
+		t.Errorf("eigenvector deviates by %g", d)
+	}
+}

@@ -1,0 +1,212 @@
+// Package device provides a software stand-in for the paper's OpenCL
+// execution environment: a "kernel launch" runtime that runs a data-parallel
+// kernel body over a logical thread grid using a pool of worker goroutines.
+//
+// The paper's GPU implementation (Section 4, Algorithm 2) launches one
+// kernel with N/2 threads per butterfly stage; each logical thread executes
+// an independent body and the host loop forms an implicit barrier between
+// stages. This package reproduces exactly that execution model:
+//
+//   - Launch(n, kernel) runs kernel(id) for every id in [0, n) and returns
+//     only after all logical threads finished (the stage barrier);
+//   - logical threads are chunked over a fixed pool of worker goroutines,
+//     the software analogue of scheduling thread blocks over multiprocessors;
+//   - Reduce implements the parallel reduction tree used for norms and
+//     residuals, which the paper notes "can be relatively well parallelized".
+//
+// A Device with one worker executes everything on the calling goroutine,
+// giving a serial twin with identical semantics for testing. Launch
+// statistics are recorded so benchmarks can report grid sizes.
+package device
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Device executes data-parallel kernels over a pool of worker goroutines.
+// A Device is safe for sequential reuse; concurrent Launch calls on the
+// same Device are serialized by the caller (the power iteration is a
+// sequential outer loop, as on real hardware).
+type Device struct {
+	workers int
+	grain   int
+
+	launches       atomic.Int64
+	threadsTotal   atomic.Int64
+	chunksTotal    atomic.Int64
+	reduceLaunches atomic.Int64
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithGrain sets the minimum number of logical threads per dispatched chunk.
+// Smaller grains increase scheduling overhead; larger grains reduce
+// available parallelism. The default (4096) matches the memory-bound
+// character of the butterfly kernel.
+func WithGrain(g int) Option {
+	return func(d *Device) {
+		if g > 0 {
+			d.grain = g
+		}
+	}
+}
+
+// New returns a Device with the given number of workers. workers <= 0
+// selects runtime.GOMAXPROCS(0), the software analogue of "all
+// multiprocessors on the card".
+func New(workers int, opts ...Option) *Device {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d := &Device{workers: workers, grain: 4096}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Serial returns a Device that runs every kernel on the calling goroutine.
+// It is the bit-identical reference for the parallel paths.
+func Serial() *Device { return New(1) }
+
+// Workers returns the worker count of the device.
+func (d *Device) Workers() int { return d.workers }
+
+// Launch runs kernel(id) for every logical thread id in [0, n) and returns
+// after all of them completed — one kernel launch with grid size n in GPU
+// terms. Kernels must not assume any execution order between ids.
+func (d *Device) Launch(n int, kernel func(id int)) {
+	d.LaunchRange(n, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			kernel(id)
+		}
+	})
+}
+
+// LaunchRange runs kernel(lo, hi) over a partition of [0, n) into
+// contiguous chunks. It is the chunked form of Launch for kernels that can
+// amortize per-thread setup over a range, mirroring how real kernels
+// process several elements per thread when profitable.
+func (d *Device) LaunchRange(n int, kernel func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	d.launches.Add(1)
+	d.threadsTotal.Add(int64(n))
+
+	chunk := (n + d.workers - 1) / d.workers
+	if chunk < d.grain {
+		chunk = d.grain
+	}
+	nchunks := (n + chunk - 1) / chunk
+	d.chunksTotal.Add(int64(nchunks))
+
+	if nchunks == 1 || d.workers == 1 {
+		kernel(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nchunks)
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Reduce computes the combination of f(0) … f(n−1) under the associative
+// operator combine, with identity as the neutral element. Each worker
+// reduces a contiguous chunk locally; partial results are combined in
+// deterministic chunk order, so the result is independent of scheduling
+// (floating-point addition is not associative, and a fixed combination
+// order keeps runs reproducible).
+func (d *Device) Reduce(n int, identity float64, f func(i int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	d.reduceLaunches.Add(1)
+
+	chunk := (n + d.workers - 1) / d.workers
+	if chunk < d.grain {
+		chunk = d.grain
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks == 1 || d.workers == 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = combine(acc, f(i))
+		}
+		return acc
+	}
+	partial := make([]float64, nchunks)
+	var wg sync.WaitGroup
+	wg.Add(nchunks)
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, f(i))
+			}
+			partial[c] = acc
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range partial {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// ReduceSum computes Σ f(i) for i in [0, n) using Reduce.
+func (d *Device) ReduceSum(n int, f func(i int) float64) float64 {
+	return d.Reduce(n, 0, f, func(a, b float64) float64 { return a + b })
+}
+
+// Stats is a snapshot of the launch counters of a Device.
+type Stats struct {
+	Launches       int64 // kernel launches performed
+	ReduceLaunches int64 // reduction launches performed
+	ThreadsTotal   int64 // sum of grid sizes over all launches
+	ChunksTotal    int64 // goroutine-dispatched chunks over all launches
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Launches:       d.launches.Load(),
+		ReduceLaunches: d.reduceLaunches.Load(),
+		ThreadsTotal:   d.threadsTotal.Load(),
+		ChunksTotal:    d.chunksTotal.Load(),
+	}
+}
+
+// ResetStats zeroes the device counters.
+func (d *Device) ResetStats() {
+	d.launches.Store(0)
+	d.threadsTotal.Store(0)
+	d.chunksTotal.Store(0)
+	d.reduceLaunches.Store(0)
+}
+
+// String describes the device, e.g. "device(8 workers, grain 4096)".
+func (d *Device) String() string {
+	return fmt.Sprintf("device(%d workers, grain %d)", d.workers, d.grain)
+}

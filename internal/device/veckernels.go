@@ -1,0 +1,98 @@
+package device
+
+import "math"
+
+// This file provides the device-parallel twins of the internal/vec kernels.
+// The power iteration needs only a handful of BLAS-1 operations besides the
+// matrix–vector product; the paper notes (Section 4) that vector summation
+// parallelizes well enough that it has "almost no influence on the overall
+// execution time", and these kernels reproduce that behaviour.
+
+// Dot returns xᵀy computed with a parallel reduction.
+func (d *Device) Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("device: Dot length mismatch")
+	}
+	return d.ReduceSum(len(x), func(i int) float64 { return x[i] * y[i] })
+}
+
+// Sum returns Σ xᵢ computed with a parallel reduction.
+func (d *Device) Sum(x []float64) float64 {
+	return d.ReduceSum(len(x), func(i int) float64 { return x[i] })
+}
+
+// Norm1 returns ‖x‖₁ computed with a parallel reduction.
+func (d *Device) Norm1(x []float64) float64 {
+	return d.ReduceSum(len(x), func(i int) float64 { return math.Abs(x[i]) })
+}
+
+// Norm2 returns ‖x‖₂ computed with a parallel reduction over squares.
+// Unlike the serially scaled vec.Norm2 it can overflow for entries near
+// √MaxFloat64; quasispecies concentration vectors are bounded by 1 so this
+// is not a concern on solver paths.
+func (d *Device) Norm2(x []float64) float64 {
+	return math.Sqrt(d.ReduceSum(len(x), func(i int) float64 { return x[i] * x[i] }))
+}
+
+// NormInf returns ‖x‖∞ computed with a parallel max-reduction.
+func (d *Device) NormInf(x []float64) float64 {
+	return d.Reduce(len(x), 0,
+		func(i int) float64 { return math.Abs(x[i]) },
+		math.Max)
+}
+
+// Scale multiplies x by a in place with a parallel kernel.
+func (d *Device) Scale(x []float64, a float64) {
+	d.LaunchRange(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= a
+		}
+	})
+}
+
+// AXPY computes y ← a·x + y in place with a parallel kernel.
+func (d *Device) AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("device: AXPY length mismatch")
+	}
+	d.LaunchRange(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+// Copy copies src into dst with a parallel kernel.
+func (d *Device) Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("device: Copy length mismatch")
+	}
+	d.LaunchRange(len(dst), func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Mul computes dst ← x ⊙ y elementwise with a parallel kernel.
+// dst may alias x or y.
+func (d *Device) Mul(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("device: Mul length mismatch")
+	}
+	d.LaunchRange(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] * y[i]
+		}
+	})
+}
+
+// ResidualNorm2 returns ‖w − λx‖₂, the power-iteration residual
+// R(λ̃, x̃) of the paper, in one fused parallel pass over the operands.
+func (d *Device) ResidualNorm2(w, x []float64, lambda float64) float64 {
+	if len(w) != len(x) {
+		panic("device: ResidualNorm2 length mismatch")
+	}
+	return math.Sqrt(d.ReduceSum(len(w), func(i int) float64 {
+		r := w[i] - lambda*x[i]
+		return r * r
+	}))
+}

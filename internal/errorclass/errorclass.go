@@ -1,0 +1,236 @@
+// Package errorclass implements the exact problem reduction of Section 5.1:
+// for fitness landscapes that depend only on the Hamming distance to the
+// master sequence (fᵢ = ϕ(dH(i,0))), the N×N eigenproblem for W = Q·F
+// reduces *exactly* — not approximately, as in the earlier literature — to
+// a (ν+1)×(ν+1) problem built from the reduced mutation matrix
+//
+//	QΓ[d][k] = Σ_j C(ν−d, k−j)·C(d, j)·p^(k+d−2j)·(1−p)^(ν−(k+d−2j))   (Eq. 14)
+//
+// (the probability that a fixed molecule of error class Γ_d mutates into
+// any molecule of class Γ_k). Lemma 2 shows W maps error-class vectors to
+// error-class vectors, so the dominant eigenvector of the full problem is
+// an error-class vector and can be recovered from the reduced one; the
+// cumulative concentrations follow from the rescaling
+//
+//	[Γ_k] = C(ν,k)·vΓ_k / Σ_j C(ν,j)·vΓ_j,
+//
+// which accounts for the reduced eigenvector holding *representative*
+// concentrations, not class totals.
+//
+// Because the reduction never touches the 2^ν space, it works for chain
+// lengths far beyond dense storage (ν in the thousands).
+package errorclass
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/dense"
+	"repro/internal/landscape"
+	"repro/internal/vec"
+)
+
+// MaxChainLen bounds ν for the reduction; (ν+1)² dense work stays trivial
+// far beyond any biologically meaningful chain length.
+const MaxChainLen = 1 << 14
+
+// Reduction is the reduced (ν+1)×(ν+1) eigenproblem for an error-class
+// landscape ϕ at error rate p.
+type Reduction struct {
+	nu  int
+	p   float64
+	phi []float64
+	// w is the reduced matrix W̃[d][k] = QΓ[d][k]·ϕ(k).
+	w *dense.Matrix
+	// qGamma is the reduced mutation matrix QΓ.
+	qGamma *dense.Matrix
+}
+
+// ReducedQ returns the reduced mutation matrix QΓ of Eq. 14 for chain
+// length nu and error rate p. Row d, column k is the probability that a
+// fixed sequence of class Γ_d mutates into any sequence of class Γ_k.
+func ReducedQ(nu int, p float64) (*dense.Matrix, error) {
+	if nu < 0 || nu > MaxChainLen {
+		return nil, fmt.Errorf("errorclass: chain length %d out of range [0,%d]", nu, MaxChainLen)
+	}
+	if !(p > 0 && p <= 0.5) {
+		return nil, fmt.Errorf("errorclass: error rate p = %g outside (0, 1/2]", p)
+	}
+	m := dense.NewMatrix(nu+1, nu+1)
+	// log-space accumulation keeps entries finite for very long chains,
+	// where C(ν,·) overflows float64 mid-product.
+	logP, logQ := math.Log(p), math.Log1p(-p) // log(1−p)
+	logFact := make([]float64, nu+2)
+	for i := 2; i <= nu+1; i++ {
+		logFact[i] = logFact[i-1] + math.Log(float64(i))
+	}
+	logBin := func(n, k int) float64 {
+		if k < 0 || k > n {
+			return math.Inf(-1)
+		}
+		return logFact[n] - logFact[k] - logFact[n-k]
+	}
+	for d := 0; d <= nu; d++ {
+		for k := 0; k <= nu; k++ {
+			lo := k + d - nu
+			if lo < 0 {
+				lo = 0
+			}
+			hi := k
+			if d < hi {
+				hi = d
+			}
+			var sum float64
+			for j := lo; j <= hi; j++ {
+				h := k + d - 2*j // Hamming distance of this transition
+				logTerm := logBin(nu-d, k-j) + logBin(d, j) +
+					float64(h)*logP + float64(nu-h)*logQ
+				sum += math.Exp(logTerm)
+			}
+			m.Set(d, k, sum)
+		}
+	}
+	return m, nil
+}
+
+// New builds the reduction for the class fitness table phi (length ν+1,
+// all positive) and error rate p.
+func New(phi []float64, p float64) (*Reduction, error) {
+	nu := len(phi) - 1
+	if nu < 0 {
+		return nil, errors.New("errorclass: empty ϕ table")
+	}
+	for k, v := range phi {
+		if v <= 0 {
+			return nil, fmt.Errorf("errorclass: ϕ(%d) = %g must be positive", k, v)
+		}
+	}
+	qg, err := ReducedQ(nu, p)
+	if err != nil {
+		return nil, err
+	}
+	w := qg.Clone()
+	w.ScaleColumns(phi)
+	cp := make([]float64, len(phi))
+	copy(cp, phi)
+	return &Reduction{nu: nu, p: p, phi: cp, w: w, qGamma: qg}, nil
+}
+
+// FromLandscape builds the reduction for any class-based landscape,
+// returning an error for landscapes without class structure.
+func FromLandscape(l landscape.Landscape, p float64) (*Reduction, error) {
+	phi, ok := landscape.ClassBased(l)
+	if !ok {
+		return nil, fmt.Errorf("errorclass: landscape %T is not error-class structured", l)
+	}
+	return New(phi, p)
+}
+
+// ChainLen returns ν.
+func (r *Reduction) ChainLen() int { return r.nu }
+
+// Matrix returns the reduced matrix W̃ = QΓ·diag(ϕ) (a copy).
+func (r *Reduction) Matrix() *dense.Matrix { return r.w.Clone() }
+
+// MutationMatrix returns QΓ (a copy).
+func (r *Reduction) MutationMatrix() *dense.Matrix { return r.qGamma.Clone() }
+
+// Result is the solved reduced eigenproblem.
+type Result struct {
+	// Lambda is the dominant eigenvalue — identical to that of the full
+	// N×N problem.
+	Lambda float64
+	// ClassVector is vΓ, the reduced eigenvector of representative
+	// concentrations, normalized to Σ vΓ_k = 1.
+	ClassVector []float64
+	// Gamma holds the cumulative class concentrations [Γ_k] obtained by
+	// the C(ν,k) rescaling; Σ [Γ_k] = 1.
+	Gamma []float64
+	// Iterations used by the dense eigensolver.
+	Iterations int
+}
+
+// Solve computes the dominant eigenpair of the reduced problem with the
+// dense power method (the matrix is (ν+1)² — trivially small).
+//
+// Numerically the iteration runs on the similarity-transformed matrix
+// M = D·W̃·D⁻¹ with D = diag(C(ν,k)), which by the symmetry
+// C(ν,d)·QΓ[d][k] = C(ν,k)·QΓ[k][d] equals QΓᵀ·diag(ϕ). Its dominant
+// eigenvector is the class-total distribution [Γ_k] directly. This is the
+// same mathematics as the paper's representative-form rescaling, but it
+// avoids amplifying the eigensolver's round-off floor by C(ν,ν/2) — which
+// reaches 10^299 at ν = 1000 and would otherwise drown the true tail of
+// the distribution.
+func (r *Reduction) Solve() (*Result, error) {
+	n := r.nu + 1
+	m := r.qGamma.Transpose()
+	m.ScaleColumns(r.phi)
+	start := make([]float64, n)
+	vec.Fill(start, 1/float64(n))
+	lam, u, iters, err := dense.Dominant(m, &dense.DominantOptions{
+		Tol: 1e-14, MaxIter: 5000000, Start: start,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("errorclass: reduced eigensolve failed: %w", err)
+	}
+	// u is a Perron vector: clamp round-off and normalize to Σ[Γk] = 1.
+	for i, x := range u {
+		if x < 0 {
+			if x < -1e-9 {
+				return nil, fmt.Errorf("errorclass: reduced eigenvector entry %d = %g is negative", i, x)
+			}
+			u[i] = 0
+		}
+	}
+	vec.Normalize1(u)
+	res := &Result{Lambda: lam, Gamma: u, Iterations: iters}
+	// Representative concentrations vΓ_k = [Γ_k]/C(ν,k); entries may
+	// underflow to zero for very long chains, where only Gamma is
+	// representable in float64.
+	v := make([]float64, n)
+	for k := range v {
+		v[k] = u[k] / bits.BinomialFloat(r.nu, k)
+	}
+	vec.Normalize1(v)
+	res.ClassVector = v
+	return res, nil
+}
+
+// RescaleToGamma converts a reduced eigenvector vΓ into cumulative class
+// concentrations [Γ_k] = C(ν,k)·vΓ_k / Σ_j C(ν,j)·vΓ_j.
+func RescaleToGamma(classVector []float64) []float64 {
+	nu := len(classVector) - 1
+	gamma := make([]float64, nu+1)
+	var denom float64
+	for k, v := range classVector {
+		gamma[k] = bits.BinomialFloat(nu, k) * v
+		denom += gamma[k]
+	}
+	for k := range gamma {
+		gamma[k] /= denom
+	}
+	return gamma
+}
+
+// Expand materializes the full 2^ν eigenvector from the reduced one:
+// x[i] = vΓ_{dH(i,0)}, normalized to Σ xᵢ = 1 so it is directly the
+// quasispecies concentration vector of the Right formulation. Θ(N)
+// memory — requires ν within dense range.
+func Expand(classVector []float64) ([]float64, error) {
+	nu := len(classVector) - 1
+	if nu < 0 {
+		return nil, errors.New("errorclass: empty class vector")
+	}
+	if nu > 30 {
+		return nil, fmt.Errorf("errorclass: refusing to materialize 2^%d entries", nu)
+	}
+	n := bits.SpaceSize(nu)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = classVector[bits.Weight(uint64(i))]
+	}
+	vec.Normalize1(x)
+	return x, nil
+}

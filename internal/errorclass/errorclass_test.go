@@ -1,0 +1,322 @@
+package errorclass
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func randPhi(r *rng.Source, nu int) []float64 {
+	phi := make([]float64, nu+1)
+	for k := range phi {
+		phi[k] = 0.5 + 2*r.Float64()
+	}
+	return phi
+}
+
+func TestReducedQRowsAreStochastic(t *testing.T) {
+	// Row d of QΓ sums over all possible target classes: Σ_k QΓ[d][k] = 1.
+	for _, nu := range []int{1, 5, 20, 100} {
+		for _, p := range []float64{0.001, 0.01, 0.1, 0.5} {
+			m, err := ReducedQ(nu, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d <= nu; d++ {
+				s := vec.Sum(m.Row(d))
+				if math.Abs(s-1) > 1e-10 {
+					t.Errorf("ν=%d p=%g: row %d sums to %.15g", nu, p, d, s)
+				}
+			}
+		}
+	}
+}
+
+func TestReducedQMatchesExplicitSum(t *testing.T) {
+	// QΓ[d][k] must equal Σ_{j∈Γk} Q[rep_d][j] computed from the full Q.
+	const nu = 8
+	const p = 0.03
+	m, err := ReducedQ(nu, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv := mutation.ClassValues(nu, p)
+	for d := 0; d <= nu; d++ {
+		rep := bits.ClassRepresentative(nu, d)
+		for k := 0; k <= nu; k++ {
+			var want float64
+			bits.EnumerateClass(nu, k, 0, func(j uint64) {
+				want += qv[bits.Hamming(rep, j)]
+			})
+			if got := m.At(d, k); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("QΓ[%d][%d] = %.15g, want %.15g", d, k, got, want)
+			}
+		}
+	}
+}
+
+func TestReducedQValidation(t *testing.T) {
+	if _, err := ReducedQ(5, 0); err == nil {
+		t.Error("p = 0 must be rejected")
+	}
+	if _, err := ReducedQ(-1, 0.1); err == nil {
+		t.Error("negative ν must be rejected")
+	}
+	if _, err := ReducedQ(MaxChainLen+1, 0.1); err == nil {
+		t.Error("oversized ν must be rejected")
+	}
+}
+
+// TestErrorClassVectorsClosedUnderW is Lemma 2: W maps error-class
+// vectors to error-class vectors.
+func TestErrorClassVectorsClosedUnderW(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nu := 2 + int(r.Uint64n(7))
+		p := 0.01 + 0.3*r.Float64()
+		phi := randPhi(r, nu)
+		l, err := landscape.NewErrorClass(phi)
+		if err != nil {
+			return false
+		}
+		q := mutation.MustUniform(nu, p)
+		op, err := core.NewFmmpOperator(q, l, core.Right, nil)
+		if err != nil {
+			return false
+		}
+		// Random error-class vector.
+		cls := randPhi(r, nu)
+		v := make([]float64, q.Dim())
+		for i := range v {
+			v[i] = cls[bits.Weight(uint64(i))]
+		}
+		w := make([]float64, q.Dim())
+		op.Apply(w, v)
+		// All entries within a class must coincide.
+		seen := make([]float64, nu+1)
+		init := make([]bool, nu+1)
+		for i, x := range w {
+			k := bits.Weight(uint64(i))
+			if !init[k] {
+				seen[k], init[k] = x, true
+			} else if math.Abs(x-seen[k]) > 1e-10*(1+math.Abs(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReductionMatchesFullSolve(t *testing.T) {
+	// The headline claim of Section 5.1: the (ν+1)×(ν+1) solve reproduces
+	// the full N×N dominant eigenpair exactly.
+	r := rng.New(7)
+	for _, nu := range []int{4, 8, 12} {
+		p := 0.01 + 0.02*r.Float64()
+		phi := randPhi(r, nu)
+		l, err := landscape.NewErrorClass(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mutation.MustUniform(nu, p)
+
+		// Full solve via Pi(Fmmp).
+		op, _ := core.NewFmmpOperator(q, l, core.Right, nil)
+		full, err := core.PowerIteration(op, core.PowerOptions{Tol: 1e-13, Start: core.FitnessStart(l)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullX := vec.Clone(full.Vector)
+		if err := core.Concentrations(fullX); err != nil {
+			t.Fatal(err)
+		}
+		fullGamma, err := core.ClassConcentrations(nu, fullX)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reduced solve.
+		red, err := New(phi, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := red.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if math.Abs(res.Lambda-full.Lambda) > 1e-8*(1+math.Abs(full.Lambda)) {
+			t.Errorf("ν=%d: reduced λ = %.15g, full λ = %.15g", nu, res.Lambda, full.Lambda)
+		}
+		for k := 0; k <= nu; k++ {
+			if math.Abs(res.Gamma[k]-fullGamma[k]) > 1e-7 {
+				t.Errorf("ν=%d: [Γ%d] reduced %.12g vs full %.12g", nu, k, res.Gamma[k], fullGamma[k])
+			}
+		}
+
+		// Expanded eigenvector matches the full concentration vector.
+		x, err := Expand(res.ClassVector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vec.DistInf(x, fullX); d > 1e-8 {
+			t.Errorf("ν=%d: expanded eigenvector deviates by %g", nu, d)
+		}
+	}
+}
+
+func TestReductionSinglePeakThreshold(t *testing.T) {
+	// Below the error threshold the master class dominates; above it the
+	// distribution is uniform and [Γk] → C(ν,k)/N.
+	const nu = 20
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+
+	solve := func(p float64) []float64 {
+		red, err := FromLandscape(l, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := red.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Gamma
+	}
+
+	ordered := solve(0.005)
+	if ordered[0] < 0.5 {
+		t.Errorf("p=0.005: [Γ0] = %g; expected master-class dominance", ordered[0])
+	}
+	random := solve(0.08) // beyond pmax ≈ 0.035 for ν=20, f0/f1=2
+	for k := 0; k <= nu; k++ {
+		want := bits.BinomialFloat(nu, k) / math.Pow(2, nu)
+		if math.Abs(random[k]-want) > 1e-3 {
+			t.Errorf("p=0.08: [Γ%d] = %g, want ≈ uniform %g", k, random[k], want)
+		}
+	}
+}
+
+func TestRescaleToGamma(t *testing.T) {
+	// Uniform representative concentrations ⇒ [Γk] = C(ν,k)/2^ν.
+	const nu = 6
+	v := make([]float64, nu+1)
+	for i := range v {
+		v[i] = 1.0 / float64(nu+1)
+	}
+	g := RescaleToGamma(v)
+	var sum float64
+	for k := range g {
+		want := bits.BinomialFloat(nu, k) / 64
+		if math.Abs(g[k]-want) > 1e-14 {
+			t.Errorf("[Γ%d] = %g, want %g", k, g[k], want)
+		}
+		sum += g[k]
+	}
+	if math.Abs(sum-1) > 1e-14 {
+		t.Errorf("Σ[Γk] = %g", sum)
+	}
+}
+
+func TestVeryLongChains(t *testing.T) {
+	// ν = 500: far beyond any 2^ν method; the reduction must still work
+	// and produce an ordered distribution at p well below the threshold
+	// p_max ≈ ln(2)/ν ≈ 1.39e-3, and the uniform one above it.
+	const nu = 500
+	phi := make([]float64, nu+1)
+	phi[0] = 2
+	for k := 1; k <= nu; k++ {
+		phi[k] = 1
+	}
+	red, err := New(phi, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := red.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gamma[0] < 0.3 {
+		t.Errorf("[Γ0] = %g; expected ordered distribution at p well below threshold", res.Gamma[0])
+	}
+	// λ ≈ f0·(1−p)^ν = 2·e^{−νp} in the ordered regime (perturbative).
+	wantLam := 2 * math.Pow(1-0.0005, nu)
+	if math.Abs(res.Lambda-wantLam) > 0.05 {
+		t.Errorf("λ = %g, want ≈ %g", res.Lambda, wantLam)
+	}
+	var sum float64
+	for _, g := range res.Gamma {
+		sum += g
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σ[Γk] = %g", sum)
+	}
+
+	// Above the threshold: the distribution collapses to the binomial
+	// profile of the uniform state.
+	redHi, err := New(phi, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHi, err := redHi.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHi.Gamma[0] > 1e-10 {
+		t.Errorf("above threshold [Γ0] = %g; expected vanishing master class", resHi.Gamma[0])
+	}
+}
+
+func TestFromLandscapeRejectsUnstructured(t *testing.T) {
+	l, _ := landscape.NewRandom(6, 5, 1, 1)
+	if _, err := FromLandscape(l, 0.01); err == nil {
+		t.Error("random landscape must be rejected")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0.01); err == nil {
+		t.Error("empty ϕ must be rejected")
+	}
+	if _, err := New([]float64{1, -1}, 0.01); err == nil {
+		t.Error("negative ϕ must be rejected")
+	}
+	if _, err := New([]float64{1, 1}, 0.7); err == nil {
+		t.Error("invalid p must be rejected")
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	if _, err := Expand(nil); err == nil {
+		t.Error("empty class vector must be rejected")
+	}
+	if _, err := Expand(make([]float64, 40)); err == nil {
+		t.Error("oversized expansion must be rejected")
+	}
+}
+
+func TestMatrixAccessorsReturnCopies(t *testing.T) {
+	red, err := New([]float64{2, 1, 1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := red.Matrix()
+	m.Set(0, 0, 999)
+	if red.Matrix().At(0, 0) == 999 {
+		t.Error("Matrix() must return a copy")
+	}
+	q := red.MutationMatrix()
+	q.Set(0, 0, 999)
+	if red.MutationMatrix().At(0, 0) == 999 {
+		t.Error("MutationMatrix() must return a copy")
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Roofline model. Section 4 observes that Fmmp is memory bound ("a
+// relatively high number of memory operations compared to floating-point
+// operations") and that "the performance achieved on the GPUs used exactly
+// corresponds to their particular memory bandwidth". That makes runtimes
+// predictable from first principles: one Fmmp application moves
+// 16·N·log₂N bytes (a read and a write of the vector per butterfly
+// stage), so a full solve at bandwidth B takes ≈ iters·16·N·log₂N / B.
+//
+// This file turns that observation into a model: it derives the achieved
+// bandwidth of a measured Pi(Fmmp) series and synthesizes the series a
+// device with a different bandwidth would produce — the mechanism behind
+// the parallel hardware offsets of Figure 4. The paper's Tesla C2050 has
+// 144 GB/s of theoretical memory bandwidth.
+
+// FmmpSolveBytes returns the modeled memory traffic of a full solve:
+// iterations × 16·2^ν·ν bytes.
+func FmmpSolveBytes(nu, iterations int) float64 {
+	n := math.Pow(2, float64(nu))
+	return float64(iterations) * 16 * n * float64(nu)
+}
+
+// AchievedBandwidth derives the effective bytes/second of each measured
+// sample of a Pi(Fmmp) series (samples must carry iteration counts) and
+// returns the geometric mean. Extrapolated samples are ignored.
+func AchievedBandwidth(s *Series) (float64, error) {
+	var logSum float64
+	n := 0
+	for _, smp := range s.Samples {
+		if smp.Extrapolated || smp.Seconds <= 0 || smp.Iterations <= 0 {
+			continue
+		}
+		logSum += math.Log(FmmpSolveBytes(smp.Nu, smp.Iterations) / smp.Seconds)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("harness: series %q has no measured samples with iteration counts", s.Name)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
+// ModeledFmmpSeries synthesizes the Pi(Fmmp) runtime series of a device
+// with the given memory bandwidth (bytes/second), taking per-ν iteration
+// counts from the measured series (the iteration count is a property of
+// the problem, not the hardware). Samples are marked extrapolated since
+// they are model outputs, not measurements.
+func ModeledFmmpSeries(name string, bandwidth float64, measured *Series) (*Series, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("harness: bandwidth %g must be positive", bandwidth)
+	}
+	out := &Series{Name: name}
+	for _, smp := range measured.Samples {
+		if smp.Iterations <= 0 {
+			continue
+		}
+		out.Samples = append(out.Samples, Sample{
+			Nu:           smp.Nu,
+			Seconds:      FmmpSolveBytes(smp.Nu, smp.Iterations) / bandwidth,
+			Iterations:   smp.Iterations,
+			Extrapolated: true,
+		})
+	}
+	if len(out.Samples) == 0 {
+		return nil, fmt.Errorf("harness: measured series %q carries no iteration counts", measured.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestFmmpSolveBytes(t *testing.T) {
+	// 1 iteration at ν = 10: 16·1024·10 bytes.
+	if got := FmmpSolveBytes(10, 1); got != 16*1024*10 {
+		t.Errorf("FmmpSolveBytes = %g", got)
+	}
+	if got := FmmpSolveBytes(10, 7); got != 7*16*1024*10 {
+		t.Errorf("iterations must scale linearly: %g", got)
+	}
+}
+
+func TestAchievedBandwidthRecoversPlantedValue(t *testing.T) {
+	const bw = 5e9
+	s := &Series{Name: "planted"}
+	for _, smp := range []struct{ nu, iters int }{{10, 30}, {12, 35}, {14, 40}} {
+		s.Samples = append(s.Samples, Sample{
+			Nu: smp.nu, Iterations: smp.iters,
+			Seconds: FmmpSolveBytes(smp.nu, smp.iters) / bw,
+		})
+	}
+	got, err := AchievedBandwidth(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-bw)/bw > 1e-12 {
+		t.Errorf("bandwidth = %g, want %g", got, bw)
+	}
+}
+
+func TestAchievedBandwidthRequiresIterations(t *testing.T) {
+	s := &Series{Name: "x", Samples: []Sample{{Nu: 10, Seconds: 1}}}
+	if _, err := AchievedBandwidth(s); err == nil {
+		t.Error("series without iteration counts must fail")
+	}
+}
+
+func TestModeledFmmpSeries(t *testing.T) {
+	measured := &Series{Name: "cpu", Samples: []Sample{
+		{Nu: 10, Iterations: 30, Seconds: 0.01},
+		{Nu: 12, Iterations: 35, Seconds: 0.05},
+	}}
+	model, err := ModeledFmmpSeries("gpu-model", 144e9, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Samples) != 2 {
+		t.Fatalf("got %d samples", len(model.Samples))
+	}
+	for i, smp := range model.Samples {
+		want := FmmpSolveBytes(measured.Samples[i].Nu, measured.Samples[i].Iterations) / 144e9
+		if math.Abs(smp.Seconds-want) > 1e-18 {
+			t.Errorf("sample %d: %g, want %g", i, smp.Seconds, want)
+		}
+		if !smp.Extrapolated {
+			t.Error("model outputs must be marked as such")
+		}
+	}
+	if _, err := ModeledFmmpSeries("bad", -1, measured); err == nil {
+		t.Error("negative bandwidth must be rejected")
+	}
+	empty := &Series{Name: "none", Samples: []Sample{{Nu: 5, Seconds: 1}}}
+	if _, err := ModeledFmmpSeries("bad", 1e9, empty); err == nil {
+		t.Error("series without iterations must be rejected")
+	}
+}
+
+func TestModelAgainstRealMeasurement(t *testing.T) {
+	// Derive the host's achieved bandwidth from a real measured series,
+	// then model a device with exactly that bandwidth: the modeled curve
+	// must track the measured one within the fit spread (geometric mean
+	// absorbs per-ν cache effects; allow 3×).
+	series, err := SolverRuntimes(SolverConfig{
+		Nus: []int{10, 12, 14}, MaxFull: 10, TolExact: 1e-11, TolApprox: 1e-9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmmp := series[2]
+	bw, err := AchievedBandwidth(fmmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw < 1e8 || bw > 1e12 {
+		t.Errorf("implausible achieved bandwidth %g B/s", bw)
+	}
+	model, err := ModeledFmmpSeries("self-model", bw, fmmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Individual points are one-shot wall-clock measurements and can be
+	// inflated by scheduler or GC hiccups on a loaded host, so judge the
+	// median ratio tightly and individual points only loosely.
+	var ratios []float64
+	for i, smp := range model.Samples {
+		ratio := smp.Seconds / fmmp.Samples[i].Seconds
+		ratios = append(ratios, ratio)
+		if ratio < 1.0/100 || ratio > 100 {
+			t.Errorf("ν=%d: model/measured ratio %g implausible", smp.Nu, ratio)
+		}
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if median < 1.0/5 || median > 5 {
+		t.Errorf("median model/measured ratio %g outside [1/5, 5]", median)
+	}
+	t.Logf("host achieved Fmmp bandwidth: %.2f GB/s (median ratio %.2f)", bw/1e9, median)
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/errorclass"
+	"repro/internal/landscape"
+)
+
+// Error-threshold location. Figure 1 shows the phenomenon; this file
+// turns it into a number: the critical error rate p_max at which the
+// ordered quasispecies collapses, located by bisection on the master-class
+// concentration, plus the classical first-order theory value to compare
+// against.
+
+// TheoreticalThreshold returns the textbook estimate of the error
+// threshold for a single-peak landscape with superiority σ = f₀/f_base:
+// the ordered phase persists while the master's effective replication
+// rate σ·(1−p)^ν exceeds the background, giving
+//
+//	p_max ≈ 1 − σ^(−1/ν)  (≈ ln(σ)/ν for small p).
+func TheoreticalThreshold(sigma float64, nu int) (float64, error) {
+	if sigma <= 1 {
+		return 0, fmt.Errorf("harness: superiority σ = %g must exceed 1", sigma)
+	}
+	if nu < 1 {
+		return 0, fmt.Errorf("harness: ν = %d must be positive", nu)
+	}
+	return 1 - math.Pow(sigma, -1/float64(nu)), nil
+}
+
+// LocateThreshold bisects the error rate at which the master class
+// concentration [Γ0] of a class-based landscape falls below the
+// order criterion (factor × its uniform share 2^(−ν)). It returns the
+// located p_max to within tol.
+func LocateThreshold(l landscape.Landscape, lo, hi, tol float64) (float64, error) {
+	phi, ok := landscape.ClassBased(l)
+	if !ok {
+		return 0, fmt.Errorf("harness: threshold location needs a class-based landscape, got %T", l)
+	}
+	if !(lo > 0 && hi > lo && hi <= 0.5) {
+		return 0, fmt.Errorf("harness: invalid bracket [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	nu := len(phi) - 1
+	// Order criterion: [Γ0] above 100× the uniform share.
+	uniformShare := math.Pow(2, -float64(nu))
+	ordered := func(p float64) (bool, error) {
+		red, err := errorclass.New(phi, p)
+		if err != nil {
+			return false, err
+		}
+		res, err := red.Solve()
+		if err != nil {
+			return false, err
+		}
+		return res.Gamma[0] > 100*uniformShare, nil
+	}
+	oLo, err := ordered(lo)
+	if err != nil {
+		return 0, err
+	}
+	oHi, err := ordered(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !oLo {
+		return 0, fmt.Errorf("harness: lower bracket p = %g is already disordered", lo)
+	}
+	if oHi {
+		return 0, fmt.Errorf("harness: upper bracket p = %g is still ordered", hi)
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		om, err := ordered(mid)
+		if err != nil {
+			return 0, err
+		}
+		if om {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

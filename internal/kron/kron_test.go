@@ -1,0 +1,261 @@
+package kron
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func randFactor(t *testing.T, r *rng.Source, gbits int) Factor {
+	t.Helper()
+	q := mutation.MustUniform(gbits, 0.005+0.05*r.Float64())
+	vals := make([]float64, 1<<gbits)
+	for i := range vals {
+		vals[i] = 0.5 + 2*r.Float64()
+	}
+	l, err := landscape.NewVector(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Factor{Q: q, F: l}
+}
+
+func buildSystem(t *testing.T, r *rng.Source, gbitsList []int) *System {
+	t.Helper()
+	factors := make([]Factor, len(gbitsList))
+	for i, g := range gbitsList {
+		factors[i] = randFactor(t, r, g)
+	}
+	s, err := NewSystem(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDecouplingMatchesFullSolve(t *testing.T) {
+	// The paper's central Section 5.2 claim: eigenvalue multiplies and the
+	// eigenvector factorizes across groups.
+	r := rng.New(1)
+	for _, gb := range [][]int{{2, 3}, {1, 2, 3}, {4, 2}, {3, 3, 2}} {
+		s := buildSystem(t, r, gb)
+		res, err := s.Solve(SolveOptions{Tol: 1e-13})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		full, err := s.DenseW()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLam, wantX, _, err := dense.Dominant(full.M, &dense.DominantOptions{Tol: 1e-13, MaxIter: 2000000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Lambda-wantLam) > 1e-9*(1+wantLam) {
+			t.Errorf("groups %v: λ = %.14g, want %.14g", gb, res.Lambda, wantLam)
+		}
+		got, err := res.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize the dense reference to Σ = 1 for comparison.
+		if err := core.Concentrations(wantX); err != nil {
+			t.Fatal(err)
+		}
+		if d := vec.DistInf(got, wantX); d > 1e-8 {
+			t.Errorf("groups %v: eigenvector deviates by %g", gb, d)
+		}
+	}
+}
+
+func TestResultAt(t *testing.T) {
+	r := rng.New(2)
+	s := buildSystem(t, r, []int{2, 2})
+	res, err := s.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		v, err := res.At(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != x[i] {
+			t.Fatalf("At(%d) = %g, Materialize[%d] = %g", i, v, i, x[i])
+		}
+	}
+	if res.MasterConcentration() != x[0] {
+		t.Error("MasterConcentration inconsistent")
+	}
+}
+
+func TestClassAggregatesMatchDirect(t *testing.T) {
+	r := rng.New(3)
+	s := buildSystem(t, r, []int{3, 2, 2})
+	res, err := s.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyMaterialized(); err != nil {
+		t.Fatal(err)
+	}
+	// Min/max envelopes against direct enumeration.
+	x, _ := res.Materialize()
+	nu := s.ChainLen()
+	mn, mx := res.ClassMinMax()
+	dmn := make([]float64, nu+1)
+	dmx := make([]float64, nu+1)
+	for k := range dmn {
+		dmn[k] = math.Inf(1)
+	}
+	for i, v := range x {
+		k := bits.Weight(uint64(i))
+		dmn[k] = math.Min(dmn[k], v)
+		dmx[k] = math.Max(dmx[k], v)
+	}
+	for k := 0; k <= nu; k++ {
+		if math.Abs(mn[k]-dmn[k]) > 1e-12 || math.Abs(mx[k]-dmx[k]) > 1e-12 {
+			t.Errorf("class %d: envelope (%g,%g), direct (%g,%g)", k, mn[k], mx[k], dmn[k], dmx[k])
+		}
+	}
+}
+
+func TestLongChainNu100(t *testing.T) {
+	// The paper's flagship example: ν = 100 via g = 4 groups — far beyond
+	// 2^100 dense storage. Here each group is 10 bits wide to keep the
+	// test fast; examples exercise the full 25-bit groups.
+	if testing.Short() {
+		t.Skip("long-chain solve in short mode")
+	}
+	r := rng.New(4)
+	var factors []Factor
+	for g := 0; g < 10; g++ {
+		q := mutation.MustUniform(10, 0.002)
+		vals := make([]float64, 1<<10)
+		for i := range vals {
+			vals[i] = 1 + 0.001*r.Float64()
+		}
+		vals[0] = 2 // per-group peak
+		l, err := landscape.NewVector(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors = append(factors, Factor{Q: q, F: l})
+	}
+	s, err := NewSystem(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ChainLen() != 100 {
+		t.Fatalf("ν = %d", s.ChainLen())
+	}
+	res, err := s.Solve(SolveOptions{Tol: 1e-12, UseShift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := res.ClassConcentrations()
+	if len(gamma) != 101 {
+		t.Fatalf("got %d classes", len(gamma))
+	}
+	var sum float64
+	for _, g := range gamma {
+		sum += g
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Errorf("Σ[Γk] = %g", sum)
+	}
+	// Well below threshold, the master must dominate its error class.
+	if res.MasterConcentration() < 0.1 {
+		t.Errorf("master concentration %g unexpectedly small", res.MasterConcentration())
+	}
+	mn, mx := res.ClassMinMax()
+	for k := range mn {
+		if mn[k] > mx[k] {
+			t.Fatalf("class %d: min %g > max %g", k, mn[k], mx[k])
+		}
+	}
+}
+
+func TestMixedProductIdentity(t *testing.T) {
+	// (Q₁⊗Q₀)(F₁⊗F₀) = (Q₁F₁)⊗(Q₀F₀) verified through the operators.
+	r := rng.New(5)
+	s := buildSystem(t, r, []int{2, 2})
+	full, err := s.DenseW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build ⊗Q and ⊗F explicitly and multiply.
+	q0 := s.factors[0].Q.Dense()
+	q1 := s.factors[1].Q.Dense()
+	bigQ := q1.Kronecker(q0)
+	f := make([]float64, 16)
+	for i := range f {
+		f[i] = s.factors[1].F.At(uint64(i)>>2) * s.factors[0].F.At(uint64(i)&3)
+	}
+	bigQ.ScaleColumns(f)
+	if vec.DistInf(bigQ.Data, full.M.Data) > 1e-12 {
+		t.Error("mixed product identity violated in DenseW")
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil); err == nil {
+		t.Error("empty system must be rejected")
+	}
+	q := mutation.MustUniform(2, 0.1)
+	l, _ := landscape.NewUniform(3, 1)
+	if _, err := NewSystem([]Factor{{Q: q, F: l}}); err == nil {
+		t.Error("ν mismatch within a factor must be rejected")
+	}
+	if _, err := NewSystem([]Factor{{Q: nil, F: l}}); err == nil {
+		t.Error("nil components must be rejected")
+	}
+}
+
+func TestMaterializeRefusesLargeSystems(t *testing.T) {
+	r := rng.New(6)
+	var factors []Factor
+	for g := 0; g < 8; g++ {
+		factors = append(factors, randFactor(t, r, 4))
+	}
+	s, err := NewSystem(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Materialize(); err == nil {
+		t.Error("materializing 2^32 entries must be refused")
+	}
+	// But implicit access still works.
+	if _, err := res.At(12345); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegenerateSingleFactor(t *testing.T) {
+	// One factor: the "decoupled" solve is just the plain solve.
+	r := rng.New(7)
+	s := buildSystem(t, r, []int{5})
+	res, err := s.Solve(SolveOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.VerifyMaterialized(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package landscape
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+)
+
+// Kronecker is the structured landscape of Eq. 18, F = ⊗ᵢ F_{Gᵢ} with
+// diagonal factors F_{Gᵢ} of dimension 2^gᵢ. Factor 0 acts on the lowest
+// gᵢ bit positions, matching the bit convention of the mutation package.
+//
+// The representation stays implicit: fᵢ is the product of one entry per
+// factor, so Σ 2^gᵢ values describe a landscape over 2^ν sequences and
+// chain lengths far beyond dense storage (e.g. ν = 100 with g = 4 groups
+// of 25 bits) remain representable. Such landscapes have Σᵢ 2^gᵢ degrees
+// of freedom, "a much richer structure than … Hamming distances"
+// (Section 5.2).
+type Kronecker struct {
+	factors [][]float64 // factor g: positive diagonal of length 2^bits[g]
+	gbits   []int       // bits per factor
+	offsets []int       // starting bit of each factor
+	nu      int
+	lo, hi  float64
+}
+
+// NewKronecker constructs the landscape from the diagonal factors. Every
+// factor length must be a power of two ≥ 2 and every entry positive.
+func NewKronecker(factors [][]float64) (*Kronecker, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("landscape: Kronecker landscape needs at least one factor")
+	}
+	k := &Kronecker{lo: 1, hi: 1}
+	offset := 0
+	for idx, f := range factors {
+		n := len(f)
+		if n < 2 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("landscape: factor %d length %d is not a power of two ≥ 2", idx, n)
+		}
+		g := 0
+		for 1<<g < n {
+			g++
+		}
+		flo, fhi := f[0], f[0]
+		for i, v := range f {
+			if v <= 0 {
+				return nil, fmt.Errorf("%w: factor %d entry %d = %g", ErrNonPositive, idx, i, v)
+			}
+			flo = math.Min(flo, v)
+			fhi = math.Max(fhi, v)
+		}
+		cp := make([]float64, n)
+		copy(cp, f)
+		k.factors = append(k.factors, cp)
+		k.gbits = append(k.gbits, g)
+		k.offsets = append(k.offsets, offset)
+		k.lo *= flo
+		k.hi *= fhi
+		offset += g
+	}
+	if offset > bits.MaxChainLen {
+		return nil, fmt.Errorf("landscape: total chain length %d exceeds %d for explicit indexing; "+
+			"use the per-factor API for longer chains", offset, bits.MaxChainLen)
+	}
+	k.nu = offset
+	return k, nil
+}
+
+func (k *Kronecker) ChainLen() int { return k.nu }
+func (k *Kronecker) Dim() int      { return bits.SpaceSize(k.nu) }
+
+// At returns fᵢ = Π_g factor_g[bits of i in group g].
+func (k *Kronecker) At(i uint64) float64 {
+	f := 1.0
+	for g := range k.factors {
+		sub := (i >> uint(k.offsets[g])) & ((1 << uint(k.gbits[g])) - 1)
+		f *= k.factors[g][sub]
+	}
+	return f
+}
+
+func (k *Kronecker) Bounds() (lo, hi float64) { return k.lo, k.hi }
+
+// NumFactors returns g, the number of independent groups.
+func (k *Kronecker) NumFactors() int { return len(k.factors) }
+
+// Factor returns the diagonal of factor g (read-only).
+func (k *Kronecker) Factor(g int) []float64 { return k.factors[g] }
+
+// FactorBits returns gᵢ, the number of bit positions factor g covers.
+func (k *Kronecker) FactorBits(g int) int { return k.gbits[g] }
+
+// FactorOffset returns the starting bit position of factor g.
+func (k *Kronecker) FactorOffset(g int) int { return k.offsets[g] }
+
+// DegreesOfFreedom returns Σᵢ 2^gᵢ, the number of free parameters — the
+// quantity Section 5.2 compares against the ν+1 of class landscapes.
+func (k *Kronecker) DegreesOfFreedom() int {
+	s := 0
+	for _, f := range k.factors {
+		s += len(f)
+	}
+	return s
+}

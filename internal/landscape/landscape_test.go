@@ -1,0 +1,362 @@
+package landscape
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/rng"
+)
+
+func checkBounds(t *testing.T, l Landscape) {
+	t.Helper()
+	lo, hi := l.Bounds()
+	if lo <= 0 {
+		t.Fatalf("lower bound %g not positive", lo)
+	}
+	n := l.Dim()
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	for i := 0; i < n; i++ {
+		f := l.At(uint64(i))
+		if f < lo || f > hi {
+			t.Fatalf("f[%d] = %g outside bounds [%g, %g]", i, f, lo, hi)
+		}
+	}
+}
+
+func TestSinglePeak(t *testing.T) {
+	s, err := NewSinglePeak(10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0) != 2 {
+		t.Error("master fitness wrong")
+	}
+	for _, i := range []uint64{1, 5, 1023} {
+		if s.At(i) != 1 {
+			t.Errorf("f[%d] = %g", i, s.At(i))
+		}
+	}
+	if s.Dim() != 1024 || s.ChainLen() != 10 {
+		t.Error("dims wrong")
+	}
+	checkBounds(t, s)
+}
+
+func TestSinglePeakValidation(t *testing.T) {
+	if _, err := NewSinglePeak(5, 0, 1); !errors.Is(err, ErrNonPositive) {
+		t.Error("peak 0 must be rejected")
+	}
+	if _, err := NewSinglePeak(5, 1, -1); !errors.Is(err, ErrNonPositive) {
+		t.Error("negative base must be rejected")
+	}
+}
+
+func TestLinearEndpointsAndSlope(t *testing.T) {
+	l, err := NewLinear(20, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.At(0) != 2 {
+		t.Errorf("f₀ = %g, want 2", l.At(0))
+	}
+	full := uint64(1<<20 - 1)
+	if math.Abs(l.At(full)-1) > 1e-15 {
+		t.Errorf("f at distance ν = %g, want 1", l.At(full))
+	}
+	// Halfway.
+	if got := l.Phi(10); math.Abs(got-1.5) > 1e-15 {
+		t.Errorf("ϕ(10) = %g, want 1.5", got)
+	}
+	checkBounds(t, l)
+}
+
+func TestLinearDependsOnlyOnWeight(t *testing.T) {
+	l, _ := NewLinear(8, 3, 1)
+	for i := uint64(0); i < 256; i++ {
+		if l.At(i) != l.Phi(bits.Weight(i)) {
+			t.Fatalf("linear landscape not class based at %d", i)
+		}
+	}
+}
+
+func TestErrorClassLandscape(t *testing.T) {
+	phi := []float64{5, 3, 2, 1, 0.5}
+	e, err := NewErrorClass(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ChainLen() != 4 || e.Dim() != 16 {
+		t.Error("dims wrong")
+	}
+	for i := uint64(0); i < 16; i++ {
+		if e.At(i) != phi[bits.Weight(i)] {
+			t.Fatalf("f[%d] wrong", i)
+		}
+	}
+	checkBounds(t, e)
+	// Table copies are independent.
+	tab := e.PhiTable()
+	tab[0] = 999
+	if e.Phi(0) != 5 {
+		t.Error("PhiTable aliases internal state")
+	}
+	phi[1] = -1
+	if e.Phi(1) != 3 {
+		t.Error("constructor aliases caller slice")
+	}
+}
+
+func TestErrorClassValidation(t *testing.T) {
+	if _, err := NewErrorClass([]float64{1, 0, 1}); !errors.Is(err, ErrNonPositive) {
+		t.Error("zero ϕ must be rejected")
+	}
+	if _, err := NewErrorClass(nil); err == nil {
+		t.Error("empty ϕ must be rejected")
+	}
+}
+
+func TestRandomLandscapeEq13(t *testing.T) {
+	r, err := NewRandom(12, 5, 1, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0) != 5 {
+		t.Errorf("f₀ = %g, want c = 5", r.At(0))
+	}
+	// fᵢ = σ(η+0.5) ∈ [0.5, 1.5) for σ = 1.
+	for i := uint64(1); i < 4096; i++ {
+		f := r.At(i)
+		if f < 0.5 || f >= 1.5 {
+			t.Fatalf("f[%d] = %g outside [0.5, 1.5)", i, f)
+		}
+	}
+	checkBounds(t, r)
+}
+
+func TestRandomLandscapeDeterministicRandomAccess(t *testing.T) {
+	a, _ := NewRandom(20, 5, 1, 7)
+	b, _ := NewRandom(20, 5, 1, 7)
+	for _, i := range []uint64{1, 99, 1 << 19, 1<<20 - 1} {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("same seed differs at %d", i)
+		}
+	}
+	c, _ := NewRandom(20, 5, 1, 8)
+	diff := 0
+	for i := uint64(1); i < 100; i++ {
+		if a.At(i) != c.At(i) {
+			diff++
+		}
+	}
+	if diff < 95 {
+		t.Errorf("different seeds share %d of 99 values", 99-diff)
+	}
+}
+
+func TestRandomLandscapeMeanIsUnbiased(t *testing.T) {
+	r, _ := NewRandom(16, 5, 1, 42)
+	var sum float64
+	n := 1 << 16
+	for i := 1; i < n; i++ {
+		sum += r.At(uint64(i))
+	}
+	mean := sum / float64(n-1)
+	if math.Abs(mean-1.0) > 0.01 {
+		t.Errorf("mean fitness %g, want ≈ σ·1.0 = 1", mean)
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	if _, err := NewRandom(5, 0, 1, 0); err == nil {
+		t.Error("c = 0 must be rejected")
+	}
+	if _, err := NewRandom(5, 5, 2.5, 0); err == nil {
+		t.Error("σ = c/2 must be rejected (must be strictly inside)")
+	}
+	if _, err := NewRandom(5, 5, 0, 0); err == nil {
+		t.Error("σ = 0 must be rejected")
+	}
+}
+
+func TestVectorLandscape(t *testing.T) {
+	v, err := NewVector([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ChainLen() != 2 || v.Dim() != 4 {
+		t.Error("dims wrong")
+	}
+	if v.At(2) != 3 {
+		t.Error("At wrong")
+	}
+	checkBounds(t, v)
+}
+
+func TestVectorValidation(t *testing.T) {
+	if _, err := NewVector([]float64{1, 2, 3}); err == nil {
+		t.Error("non-power-of-two length must be rejected")
+	}
+	if _, err := NewVector([]float64{1, -2}); !errors.Is(err, ErrNonPositive) {
+		t.Error("negative fitness must be rejected")
+	}
+	if _, err := NewVector(nil); err == nil {
+		t.Error("empty vector must be rejected")
+	}
+}
+
+func TestVectorConstructorCopies(t *testing.T) {
+	f := []float64{1, 2}
+	v, _ := NewVector(f)
+	f[0] = 99
+	if v.At(0) != 1 {
+		t.Error("NewVector aliases caller slice")
+	}
+}
+
+func TestUniformLandscape(t *testing.T) {
+	u, err := NewUniform(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if u.At(i) != 3 {
+			t.Fatal("uniform landscape not uniform")
+		}
+	}
+	checkBounds(t, u)
+}
+
+func TestClassBasedDetection(t *testing.T) {
+	sp, _ := NewSinglePeak(4, 2, 1)
+	lin, _ := NewLinear(4, 2, 1)
+	ec, _ := NewErrorClass([]float64{1, 2, 3, 4, 5})
+	uni, _ := NewUniform(4, 2)
+	for name, l := range map[string]Landscape{"singlepeak": sp, "linear": lin, "errorclass": ec, "uniform": uni} {
+		phi, ok := ClassBased(l)
+		if !ok || len(phi) != 5 {
+			t.Errorf("%s: ClassBased = (%v,%v)", name, phi, ok)
+		}
+		for i := uint64(0); i < 16; i++ {
+			if phi[bits.Weight(i)] != l.At(i) {
+				t.Errorf("%s: ϕ table inconsistent at %d", name, i)
+			}
+		}
+	}
+	// A class-structured explicit vector is detected…
+	ecv, _ := NewVector(Materialize(ec))
+	if _, ok := ClassBased(ecv); !ok {
+		t.Error("class-structured vector not detected")
+	}
+	// …and a genuinely unstructured one is not.
+	rl, _ := NewRandom(4, 5, 1, 3)
+	rv, _ := NewVector(Materialize(rl))
+	if _, ok := ClassBased(rv); ok {
+		t.Error("random vector misdetected as class based")
+	}
+	if _, ok := ClassBased(rl); ok {
+		t.Error("Random landscape misdetected as class based")
+	}
+}
+
+func TestMaterializeMatchesAt(t *testing.T) {
+	r, _ := NewRandom(10, 5, 1, 99)
+	f := Materialize(r)
+	for i := range f {
+		if f[i] != r.At(uint64(i)) {
+			t.Fatalf("Materialize differs at %d", i)
+		}
+	}
+}
+
+func TestKroneckerLandscape(t *testing.T) {
+	k, err := NewKronecker([][]float64{{1, 2}, {3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.ChainLen() != 3 || k.Dim() != 8 || k.NumFactors() != 2 {
+		t.Error("shape wrong")
+	}
+	// f(i) = factor0[bit0] * factor1[bits 1..2].
+	want := []float64{1 * 3, 2 * 3, 1 * 4, 2 * 4, 1 * 5, 2 * 5, 1 * 6, 2 * 6}
+	for i := range want {
+		if got := k.At(uint64(i)); got != want[i] {
+			t.Errorf("f[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+	if k.DegreesOfFreedom() != 6 {
+		t.Errorf("DoF = %d, want 6", k.DegreesOfFreedom())
+	}
+	checkBounds(t, k)
+}
+
+func TestKroneckerEqualsExplicitProduct(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var factors [][]float64
+		total := 0
+		for total < 5 {
+			g := 1 + int(r.Uint64n(2))
+			fac := make([]float64, 1<<g)
+			for i := range fac {
+				fac[i] = 0.5 + r.Float64()
+			}
+			factors = append(factors, fac)
+			total += g
+		}
+		k, err := NewKronecker(factors)
+		if err != nil {
+			return false
+		}
+		// Explicit product over the bits.
+		for i := uint64(0); i < uint64(k.Dim()); i++ {
+			want := 1.0
+			off := 0
+			for _, fac := range factors {
+				g := 0
+				for 1<<g < len(fac) {
+					g++
+				}
+				want *= fac[(i>>uint(off))&uint64(len(fac)-1)]
+				off += g
+			}
+			if math.Abs(k.At(i)-want) > 1e-14*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKroneckerValidation(t *testing.T) {
+	if _, err := NewKronecker(nil); err == nil {
+		t.Error("empty factor list must be rejected")
+	}
+	if _, err := NewKronecker([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("non-power-of-two factor must be rejected")
+	}
+	if _, err := NewKronecker([][]float64{{1, -2}}); !errors.Is(err, ErrNonPositive) {
+		t.Error("negative factor entry must be rejected")
+	}
+	if _, err := NewKronecker([][]float64{{1}}); err == nil {
+		t.Error("length-1 factor must be rejected")
+	}
+}
+
+func TestBoundsAreValidEnvelopes(t *testing.T) {
+	r, _ := NewRandom(14, 5, 2, 11)
+	lo, hi := r.Bounds()
+	for i := uint64(0); i < uint64(r.Dim()); i++ {
+		f := r.At(i)
+		if f < lo || f > hi {
+			t.Fatalf("f[%d] = %g escapes [%g,%g]", i, f, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package localized implements the approximative, memory-reduced solver
+// direction from the paper's conclusions ("the main limiting factor …
+// is … the memory requirements. Consequently, in the future we will focus
+// on … approximative strategies for a fast matrix vector product").
+//
+// Below the error threshold the quasispecies is *localized*: almost all
+// probability mass sits on sequences within a few mutations of the master
+// (Figure 1's ordered regime). This solver exploits that by iterating on a
+// sparse vector that only stores the M most concentrated sequences:
+//
+//   - the matrix–vector product scatters each supported entry to its
+//     Hamming-ball neighbourhood of radius dmax via XOR masks (the Xmvp
+//     structure of [10], applied to a sparse operand);
+//   - after each step the support is truncated back to the top M entries,
+//     and the discarded mass is tracked as an explicit error estimate;
+//   - λ is estimated by Φ(x) = Σ fⱼxⱼ, which equals ‖W·x‖₁ for a
+//     1-normalized non-negative x because Q is column stochastic, and
+//     converges to the dominant eigenvalue at the fixed point.
+//
+// Memory is Θ(M) instead of Θ(2^ν), so chain lengths far beyond dense
+// vectors (ν = 40 and more) are solvable below the threshold. Above the
+// threshold the distribution delocalizes, truncation discards macroscopic
+// mass, and the solver reports that instead of silently returning noise —
+// the approximation is *valid exactly where the biology is interesting*.
+package localized
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+// Options configures the localized solver.
+type Options struct {
+	// DMax is the scatter radius per application (default 4). Larger
+	// values cost Σ_{k≤dmax} C(ν,k) mask applications per supported entry
+	// but capture more probability flux per step.
+	DMax int
+	// MaxSupport is M, the sparse support size (default 20000).
+	MaxSupport int
+	// Tol stops the iteration when the 1-norm change of the distribution
+	// per step falls below it (default 1e-12).
+	Tol float64
+	// MaxIter caps the iterations (default 5000).
+	MaxIter int
+	// MaxDiscard aborts with ErrDelocalized when a single truncation
+	// discards more than this mass fraction (default 1e-3): the
+	// distribution no longer fits any localized description.
+	MaxDiscard float64
+}
+
+func (o *Options) defaults(nu int) Options {
+	out := Options{DMax: 4, MaxSupport: 20000, Tol: 1e-12, MaxIter: 5000, MaxDiscard: 1e-3}
+	if o != nil {
+		if o.DMax > 0 {
+			out.DMax = o.DMax
+		}
+		if o.MaxSupport > 0 {
+			out.MaxSupport = o.MaxSupport
+		}
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+		if o.MaxIter > 0 {
+			out.MaxIter = o.MaxIter
+		}
+		if o.MaxDiscard > 0 {
+			out.MaxDiscard = o.MaxDiscard
+		}
+	}
+	if out.DMax > nu {
+		out.DMax = nu
+	}
+	return out
+}
+
+// ErrDelocalized is returned when the distribution spreads beyond the
+// sparse support — the solver's validity domain (ordered regime) is left.
+var ErrDelocalized = errors.New("localized: distribution delocalized beyond the sparse support; " +
+	"the model is at or above the error threshold")
+
+// ErrNoConvergence is returned when MaxIter is exhausted.
+var ErrNoConvergence = errors.New("localized: iteration budget exhausted before convergence")
+
+// Entry is one supported sequence with its concentration.
+type Entry struct {
+	Sequence      uint64
+	Concentration float64
+}
+
+// Result is a solved localized quasispecies.
+type Result struct {
+	// Lambda is the dominant-eigenvalue estimate Φ(x).
+	Lambda float64
+	// Support holds the surviving entries in descending concentration.
+	Support []Entry
+	// Gamma holds cumulative class concentrations [Γ0..Γν] of the
+	// supported mass (classes beyond the support carry ≈ DiscardedMass).
+	Gamma []float64
+	// DiscardedMass is the total mass dropped by truncation over the run
+	// (mass is renormalized each step; this is the cumulative leak and
+	// bounds the approximation error of the tail).
+	DiscardedMass float64
+	// Iterations performed.
+	Iterations int
+	// Delta is the final per-step 1-norm change.
+	Delta float64
+}
+
+// Concentration returns the concentration of sequence i (0 when outside
+// the support).
+func (r *Result) Concentration(i uint64) float64 {
+	for _, e := range r.Support {
+		if e.Sequence == i {
+			return e.Concentration
+		}
+	}
+	return 0
+}
+
+// Solve runs the localized power iteration for a uniform-rate process
+// with error rate p over chain length nu and the given landscape. The
+// landscape is accessed per sequence (never materialized), so any
+// random-access Landscape works at any ν ≤ 62.
+func Solve(nu int, p float64, land landscape.Landscape, o *Options) (*Result, error) {
+	if err := mutation.ValidateRate(p); err != nil {
+		return nil, err
+	}
+	if nu < 1 || nu > bits.MaxChainLen {
+		return nil, fmt.Errorf("localized: chain length %d out of range [1, %d]", nu, bits.MaxChainLen)
+	}
+	if land.ChainLen() != nu {
+		return nil, fmt.Errorf("localized: landscape ν = %d, want %d", land.ChainLen(), nu)
+	}
+	opts := o.defaults(nu)
+
+	// Masks of weight ≤ dmax with their class probabilities, plus the
+	// total captured column mass Σ QΓ_w·#masks — used to renormalize so
+	// the truncated operator stays stochastic in expectation.
+	qv := mutation.ClassValues(nu, p)
+	type maskEntry struct {
+		mask uint64
+		prob float64
+	}
+	var masks []maskEntry
+	bits.EnumerateUpToWeight(nu, opts.DMax, func(m uint64, w int) {
+		masks = append(masks, maskEntry{mask: m, prob: qv[w]})
+	})
+
+	// Start: the master sequence.
+	x := map[uint64]float64{0: 1}
+
+	res := &Result{}
+	prev := map[uint64]float64{}
+	y := make(map[uint64]float64, opts.MaxSupport*4)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+		// y ← truncated(W)·x, scattering in deterministic (sorted) order.
+		keys := sortedKeys(x)
+		clear(y)
+		for _, j := range keys {
+			fx := land.At(j) * x[j]
+			for _, me := range masks {
+				y[j^me.mask] += me.prob * fx
+			}
+		}
+		// λ̃ = Φ(x) for the (1-normalized) current iterate.
+		var lambda float64
+		for _, j := range keys {
+			lambda += land.At(j) * x[j]
+		}
+		res.Lambda = lambda
+
+		// Truncate to the top M entries.
+		entries := make([]Entry, 0, len(y))
+		for k, v := range y {
+			entries = append(entries, Entry{Sequence: k, Concentration: v})
+		}
+		sort.Slice(entries, func(a, b int) bool {
+			if entries[a].Concentration != entries[b].Concentration {
+				return entries[a].Concentration > entries[b].Concentration
+			}
+			return entries[a].Sequence < entries[b].Sequence
+		})
+		var total, kept float64
+		for _, e := range entries {
+			total += e.Concentration
+		}
+		if len(entries) > opts.MaxSupport {
+			entries = entries[:opts.MaxSupport]
+		}
+		for _, e := range entries {
+			kept += e.Concentration
+		}
+		if total <= 0 || math.IsNaN(total) {
+			return res, fmt.Errorf("localized: iteration broke down at step %d", iter)
+		}
+		discard := (total - kept) / total
+		res.DiscardedMass += discard
+		if discard > opts.MaxDiscard {
+			return res, fmt.Errorf("%w (%.2g mass dropped in one step at iteration %d)",
+				ErrDelocalized, discard, iter)
+		}
+
+		// Normalize and measure the step change in 1-norm.
+		next := make(map[uint64]float64, len(entries))
+		for _, e := range entries {
+			next[e.Sequence] = e.Concentration / kept
+		}
+		delta := distL1(prev, next)
+		res.Delta = delta
+		prev = next
+		x = next
+		if delta <= opts.Tol {
+			finish(res, x, nu)
+			return res, nil
+		}
+	}
+	finish(res, x, nu)
+	return res, fmt.Errorf("%w after %d iterations (Δ = %g)", ErrNoConvergence, res.Iterations, res.Delta)
+}
+
+func finish(res *Result, x map[uint64]float64, nu int) {
+	res.Support = make([]Entry, 0, len(x))
+	for k, v := range x {
+		res.Support = append(res.Support, Entry{Sequence: k, Concentration: v})
+	}
+	sort.Slice(res.Support, func(a, b int) bool {
+		if res.Support[a].Concentration != res.Support[b].Concentration {
+			return res.Support[a].Concentration > res.Support[b].Concentration
+		}
+		return res.Support[a].Sequence < res.Support[b].Sequence
+	})
+	res.Gamma = make([]float64, nu+1)
+	for _, e := range res.Support {
+		res.Gamma[bits.Weight(e.Sequence)] += e.Concentration
+	}
+}
+
+func sortedKeys(m map[uint64]float64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func distL1(a, b map[uint64]float64) float64 {
+	var d float64
+	for k, av := range a {
+		d += math.Abs(av - b[k])
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += math.Abs(bv)
+		}
+	}
+	return d
+}

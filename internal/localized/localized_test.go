@@ -1,0 +1,214 @@
+package localized
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errorclass"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+func TestMatchesExactReductionBelowThreshold(t *testing.T) {
+	// Single peak at ν = 12, p well below threshold: the localized solve
+	// must reproduce the exact class concentrations.
+	const nu = 12
+	const p = 0.005
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	res, err := Solve(nu, p, l, &Options{DMax: 5, MaxSupport: 4000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := errorclass.FromLandscape(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := red.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-exact.Lambda) > 1e-6 {
+		t.Errorf("λ = %.10g, exact %.10g", res.Lambda, exact.Lambda)
+	}
+	for k := 0; k <= 4; k++ {
+		if math.Abs(res.Gamma[k]-exact.Gamma[k]) > 1e-6 {
+			t.Errorf("[Γ%d] = %.8g, exact %.8g", k, res.Gamma[k], exact.Gamma[k])
+		}
+	}
+	if res.DiscardedMass > 1e-6 {
+		t.Errorf("discarded mass %g should be negligible below threshold", res.DiscardedMass)
+	}
+}
+
+func TestMatchesFullSolveOnRandomLandscape(t *testing.T) {
+	// Unstructured landscape at ν = 14: compare against the exact Pi(Fmmp)
+	// pipeline entry by entry on the top sequences.
+	const nu = 14
+	const p = 0.003
+	l, err := landscape.NewRandom(nu, 5, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(nu, p, l, &Options{DMax: 4, MaxSupport: 3000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, p)
+	op, _ := core.NewFmmpOperator(q, l, core.Right, nil)
+	full, err := core.PowerIteration(op, core.PowerOptions{Tol: 1e-12, Start: core.FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := full.Vector
+	if err := core.Concentrations(x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-full.Lambda) > 1e-5 {
+		t.Errorf("λ = %.10g, full %.10g", res.Lambda, full.Lambda)
+	}
+	for _, e := range res.Support[:10] {
+		if d := math.Abs(e.Concentration - x[e.Sequence]); d > 1e-5 {
+			t.Errorf("x[%d] = %.8g, full %.8g", e.Sequence, e.Concentration, x[e.Sequence])
+		}
+	}
+	// The top support sequence must be the overall argmax of the full
+	// solution.
+	maxIdx := 0
+	for i, v := range x {
+		if v > x[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if res.Support[0].Sequence != uint64(maxIdx) {
+		t.Errorf("top sequence %d, full argmax %d", res.Support[0].Sequence, maxIdx)
+	}
+}
+
+func TestBeyondDenseReach(t *testing.T) {
+	// ν = 40: a 2^40 = 10^12-entry vector is out of reach (8 TB), but the
+	// localized solver needs only the sparse support. Verify against the
+	// exact error-class reduction, which works at any ν.
+	const nu = 40
+	const p = 0.002 // νp = 0.08, deep in the ordered regime
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	res, err := Solve(nu, p, l, &Options{DMax: 2, MaxSupport: 2500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, _ := errorclass.FromLandscape(l, p)
+	exact, err := red.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The finite support renormalizes away the (small) tail mass, so
+	// compare tail-independent ratios and a loose λ.
+	if math.Abs(res.Lambda-exact.Lambda) > 5e-3 {
+		t.Errorf("λ = %.8g, exact %.8g", res.Lambda, exact.Lambda)
+	}
+	for k := 1; k <= 2; k++ {
+		got := res.Gamma[k] / res.Gamma[0]
+		want := exact.Gamma[k] / exact.Gamma[0]
+		if math.Abs(got-want)/want > 1e-3 {
+			t.Errorf("[Γ%d]/[Γ0] = %.8g, exact %.8g", k, got, want)
+		}
+	}
+	if res.Support[0].Sequence != 0 {
+		t.Error("master sequence must dominate")
+	}
+	t.Logf("ν=40: λ=%.6f (exact %.6f), support %d entries, leaked %.2g",
+		res.Lambda, exact.Lambda, len(res.Support), res.DiscardedMass)
+}
+
+func TestDelocalizationDetectedAboveThreshold(t *testing.T) {
+	// p far above the ν = 16 threshold (≈ 0.042): the uniform target
+	// distribution cannot fit in a small support.
+	const nu = 16
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	_, err := Solve(nu, 0.2, l, &Options{DMax: 3, MaxSupport: 500, MaxIter: 2000})
+	if !errors.Is(err, ErrDelocalized) {
+		t.Errorf("err = %v, want ErrDelocalized", err)
+	}
+}
+
+func TestConcentrationLookup(t *testing.T) {
+	const nu = 10
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	res, err := Solve(nu, 0.005, l, &Options{MaxSupport: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concentration(0) != res.Support[0].Concentration {
+		t.Error("Concentration(0) disagrees with support")
+	}
+	if res.Concentration(1<<nu-1) != 0 {
+		t.Error("far sequence must report zero")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	l, _ := landscape.NewSinglePeak(8, 2, 1)
+	if _, err := Solve(8, 0, l, nil); err == nil {
+		t.Error("invalid p must be rejected")
+	}
+	if _, err := Solve(9, 0.01, l, nil); err == nil {
+		t.Error("ν mismatch must be rejected")
+	}
+	if _, err := Solve(0, 0.01, l, nil); err == nil {
+		t.Error("ν = 0 must be rejected")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	l, _ := landscape.NewSinglePeak(10, 2, 1)
+	res, err := Solve(10, 0.01, l, &Options{MaxIter: 2, Tol: 1e-15})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+	if res == nil || res.Iterations != 2 || res.Support == nil {
+		t.Error("partial result must be populated")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	l, _ := landscape.NewRandom(12, 5, 1, 3)
+	a, err := Solve(12, 0.004, l, &Options{DMax: 3, MaxSupport: 1000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(12, 0.004, l, &Options{DMax: 3, MaxSupport: 1000, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lambda != b.Lambda || len(a.Support) != len(b.Support) {
+		t.Fatal("runs differ")
+	}
+	for i := range a.Support {
+		if a.Support[i] != b.Support[i] {
+			t.Fatalf("support entry %d differs between runs", i)
+		}
+	}
+}
+
+func TestLargerDmaxImprovesAccuracy(t *testing.T) {
+	const nu = 12
+	const p = 0.008
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	red, _ := errorclass.FromLandscape(l, p)
+	exact, err := red.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(dmax int) float64 {
+		res, err := Solve(nu, p, l, &Options{DMax: dmax, MaxSupport: 4096, Tol: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Lambda - exact.Lambda)
+	}
+	e2, e5 := errAt(2), errAt(5)
+	if e5 >= e2 {
+		t.Errorf("dmax=5 error %g not better than dmax=2 error %g", e5, e2)
+	}
+}

@@ -1,0 +1,53 @@
+package mutation
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// Allocation regression guards: the hot kernels of the solver must not
+// allocate. "There is no need to store any element of the matrix" is the
+// paper's headline property — a per-apply allocation would silently erode
+// it at scale.
+
+func TestFmmpApplyDoesNotAllocate(t *testing.T) {
+	q := MustUniform(12, 0.01)
+	v := make([]float64, q.Dim())
+	vec.Fill(v, 1)
+	if allocs := testing.AllocsPerRun(10, func() { q.Apply(v) }); allocs != 0 {
+		t.Errorf("Fmmp Apply allocates %.0f objects per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { q.ApplyDescending(v) }); allocs != 0 {
+		t.Errorf("ApplyDescending allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestFWHTDoesNotAllocate(t *testing.T) {
+	v := make([]float64, 1<<12)
+	vec.Fill(v, 1)
+	if allocs := testing.AllocsPerRun(10, func() { FWHT(v) }); allocs != 0 {
+		t.Errorf("FWHT allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestXmvpApplyDoesNotAllocate(t *testing.T) {
+	x := MustXmvp(12, 0.01, 3)
+	src := make([]float64, x.Dim())
+	dst := make([]float64, x.Dim())
+	vec.Fill(src, 1)
+	if allocs := testing.AllocsPerRun(5, func() { x.Apply(dst, src) }); allocs != 0 {
+		t.Errorf("Xmvp Apply allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestApplyInverseDoesNotAllocate(t *testing.T) {
+	q := MustUniform(10, 0.01)
+	v := make([]float64, q.Dim())
+	vec.Fill(v, 1)
+	// One small allocation (the per-class scale table) is acceptable; the
+	// vector-sized work must be allocation free.
+	if allocs := testing.AllocsPerRun(10, func() { q.ApplyInverse(v) }); allocs > 1 {
+		t.Errorf("ApplyInverse allocates %.0f objects per call", allocs)
+	}
+}

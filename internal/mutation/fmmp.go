@@ -1,0 +1,165 @@
+package mutation
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// This file implements the paper's central contribution: the fast mutation
+// matrix product Fmmp (Section 2.1). The Kronecker recursion
+//
+//	Q(ν)·v = [ (1−p)·v̄₁ + p·v̄₂ ]   with  v̄ᵢ = Q(ν−1)·vᵢ          (Eq. 9)
+//	         [ p·v̄₁ + (1−p)·v̄₂ ]
+//
+// unrolls into log₂N butterfly stages over the vector, exactly like the
+// FFT/FWHT, giving Θ(N·log₂N) time, in-situ operation and zero matrix
+// storage.
+
+// Apply computes v ← Q·v in place with the iterative butterfly of
+// Algorithm 1 (stage order of Eq. 9: strides ascending). It panics if
+// len(v) != 2^ν.
+func (q *Process) Apply(v []float64) {
+	q.checkDim(len(v))
+	for _, g := range q.groups {
+		q.applyGroupSerial(g, v)
+	}
+}
+
+// ApplyDescending computes v ← Q·v with the stage order of Eq. 10 (strides
+// descending, obtained "by turning around the outermost i-loop"). The
+// stages act on disjoint bit positions and commute in exact arithmetic, so
+// the result matches Apply up to floating-point rounding; both orders are
+// kept for the ablation benchmarks.
+func (q *Process) ApplyDescending(v []float64) {
+	q.checkDim(len(v))
+	for gi := len(q.groups) - 1; gi >= 0; gi-- {
+		q.applyGroupSerial(q.groups[gi], v)
+	}
+}
+
+// ApplyRecursive computes v ← Q·v by the literal recursion of Eq. 9
+// (split, recurse, combine). It allocates Θ(N) scratch and exists as an
+// executable statement of the derivation; Apply is the production path.
+// Only valid for single-bit groups (standard and per-site processes).
+func (q *Process) ApplyRecursive(v []float64) {
+	q.checkDim(len(v))
+	for _, g := range q.groups {
+		if g.bitsLen != 1 {
+			panic("mutation: ApplyRecursive supports only single-position factors")
+		}
+	}
+	res := q.recurse(v, len(q.groups))
+	copy(v, res)
+}
+
+// recurse returns Q(level)·v where level counts remaining factors; the
+// factor consumed at each level is the highest-order remaining bit,
+// matching the block structure of Eq. 8.
+func (q *Process) recurse(v []float64, level int) []float64 {
+	if level == 0 {
+		out := make([]float64, 1)
+		out[0] = v[0]
+		return out
+	}
+	f := q.groups[level-1].f2
+	half := len(v) / 2
+	v1 := q.recurse(v[:half], level-1)
+	v2 := q.recurse(v[half:], level-1)
+	out := make([]float64, len(v))
+	for i := 0; i < half; i++ {
+		out[i] = f.A*v1[i] + f.B*v2[i]
+		out[half+i] = f.C*v1[i] + f.D*v2[i]
+	}
+	return out
+}
+
+// ApplyDevice computes v ← Q·v using the device-parallel kernel of
+// Algorithm 2: per stage one kernel launch with N/2 logical threads and
+// the branch-free index computation j = 2·ID − (ID & (i−1)). The host
+// stage loop is the implicit barrier between launches.
+func (q *Process) ApplyDevice(d *device.Device, v []float64) {
+	q.checkDim(len(v))
+	for _, g := range q.groups {
+		q.applyGroupDevice(d, g, v)
+	}
+}
+
+// applyGroupSerial applies one Kronecker factor to v on the calling
+// goroutine.
+func (q *Process) applyGroupSerial(g group, v []float64) {
+	if g.bitsLen == 1 {
+		stride := 1 << uint(g.offset)
+		a, b, c, dd := g.f2.A, g.f2.B, g.f2.C, g.f2.D
+		// Algorithm 1's two inner loops: blocks of 2·stride, pairs within.
+		for j := 0; j < len(v); j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := v[k], v[k+stride]
+				v[k] = a*t1 + b*t2
+				v[k+stride] = c*t1 + dd*t2
+			}
+		}
+		return
+	}
+	// Grouped factor (Eq. 11): dense 2^g × 2^g matvec applied across the
+	// strided gather of the group's bit positions.
+	size := 1 << uint(g.bitsLen)
+	stride := 1 << uint(g.offset)
+	lowMask := stride - 1
+	nBases := len(v) >> uint(g.bitsLen)
+	in := make([]float64, size)
+	out := make([]float64, size)
+	for b := 0; b < nBases; b++ {
+		base := ((b &^ lowMask) << uint(g.bitsLen)) | (b & lowMask)
+		for s := 0; s < size; s++ {
+			in[s] = v[base|(s<<uint(g.offset))]
+		}
+		g.mat.MatVec(out, in)
+		for s := 0; s < size; s++ {
+			v[base|(s<<uint(g.offset))] = out[s]
+		}
+	}
+}
+
+// applyGroupDevice applies one Kronecker factor with a device kernel
+// launch over the independent logical threads of the stage.
+func (q *Process) applyGroupDevice(d *device.Device, g group, v []float64) {
+	if g.bitsLen == 1 {
+		stride := 1 << uint(g.offset)
+		a, b, c, dd := g.f2.A, g.f2.B, g.f2.C, g.f2.D
+		d.LaunchRange(len(v)/2, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				// Algorithm 2, line 3: j = 2·ID − (ID & (i−1)).
+				j := 2*id - (id & (stride - 1))
+				t1, t2 := v[j], v[j+stride]
+				v[j] = a*t1 + b*t2
+				v[j+stride] = c*t1 + dd*t2
+			}
+		})
+		return
+	}
+	size := 1 << uint(g.bitsLen)
+	stride := 1 << uint(g.offset)
+	lowMask := stride - 1
+	nBases := len(v) >> uint(g.bitsLen)
+	d.LaunchRange(nBases, func(lo, hi int) {
+		in := make([]float64, size)
+		out := make([]float64, size)
+		for b := lo; b < hi; b++ {
+			base := ((b &^ lowMask) << uint(g.bitsLen)) | (b & lowMask)
+			for s := 0; s < size; s++ {
+				in[s] = v[base|(s<<uint(g.offset))]
+			}
+			g.mat.MatVec(out, in)
+			for s := 0; s < size; s++ {
+				v[base|(s<<uint(g.offset))] = out[s]
+			}
+		}
+	})
+}
+
+func (q *Process) checkDim(n int) {
+	if n != q.n {
+		panic(fmt.Sprintf("mutation: vector length %d does not match N = %d (ν = %d)", n, q.n, q.nu))
+	}
+}

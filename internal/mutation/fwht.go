@@ -1,0 +1,190 @@
+package mutation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/device"
+)
+
+// This file implements the spectral machinery of Section 2: the fast
+// Walsh–Hadamard transform that realizes multiplication with the
+// eigenvector matrix V(ν) of Q(ν), the closed-form eigenvalues
+// Λ(ν)ᵢᵢ = (1−2p)^dH(i,0), the explicit inverse Q⁻¹ (Eq. 12) and the
+// Θ(N·log₂N) shift-and-invert product (Q − µI)⁻¹·v = V·(Λ−µI)⁻¹·V·v.
+
+// FWHT performs the unnormalized in-place fast Walsh–Hadamard transform
+// of v: v ← H(ν)·v with H(ν) = ⊗ᵢ [[1,1],[1,−1]]. len(v) must be a power
+// of two. Applying FWHT twice multiplies by N.
+func FWHT(v []float64) {
+	n := len(v)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("mutation: FWHT length %d is not a power of two", n))
+	}
+	for stride := 1; stride < n; stride <<= 1 {
+		for j := 0; j < n; j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := v[k], v[k+stride]
+				v[k] = t1 + t2
+				v[k+stride] = t1 - t2
+			}
+		}
+	}
+}
+
+// FWHTNormalized performs v ← V(ν)·v with the orthonormal (and involutory)
+// V(ν) = 2^(−ν/2)·H(ν), the eigenvector matrix of Q(ν).
+func FWHTNormalized(v []float64) {
+	FWHT(v)
+	scale := 1 / math.Sqrt(float64(len(v)))
+	for i := range v {
+		v[i] *= scale
+	}
+}
+
+// FWHTDevice performs the unnormalized FWHT with one device kernel launch
+// per butterfly stage (the transform shares Algorithm 2's structure).
+func FWHTDevice(d *device.Device, v []float64) {
+	n := len(v)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("mutation: FWHT length %d is not a power of two", n))
+	}
+	for stride := 1; stride < n; stride <<= 1 {
+		s := stride
+		d.LaunchRange(n/2, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				j := 2*id - (id & (s - 1))
+				t1, t2 := v[j], v[j+s]
+				v[j] = t1 + t2
+				v[j+s] = t1 - t2
+			}
+		})
+	}
+}
+
+// Eigenvalue returns the eigenvalue of Q(ν) associated with Walsh index i:
+// Λ(ν)ᵢᵢ = (1−2p)^dH(i,0). Only valid for uniform processes.
+func (q *Process) Eigenvalue(i uint64) float64 {
+	q.requireUniform("Eigenvalue")
+	return math.Pow(1-2*q.p, float64(bits.Weight(i)))
+}
+
+// Eigenvalues returns all N eigenvalues of a uniform Q(ν) in Walsh order.
+// Θ(N) memory — small ν only.
+func (q *Process) Eigenvalues() []float64 {
+	q.requireUniform("Eigenvalues")
+	out := make([]float64, q.n)
+	base := 1 - 2*q.p
+	// (1−2p)^k for k = 0…ν, then scatter by Hamming weight.
+	pow := make([]float64, q.nu+1)
+	pow[0] = 1
+	for k := 1; k <= q.nu; k++ {
+		pow[k] = pow[k-1] * base
+	}
+	for i := range out {
+		out[i] = pow[bits.Weight(uint64(i))]
+	}
+	return out
+}
+
+// EigenvectorEntry returns V(ν)[i][j] = 2^(−ν/2)·(−1)^((dH(i,0)+dH(j,0)−dH(i,j))/2),
+// the componentwise form of the eigenvector matrix given in Section 2.
+func EigenvectorEntry(nu int, i, j uint64) float64 {
+	e := (bits.Weight(i) + bits.Weight(j) - bits.Hamming(i, j)) / 2
+	sign := 1.0
+	if e%2 == 1 {
+		sign = -1
+	}
+	return sign / math.Sqrt(float64(bits.SpaceSize(nu)))
+}
+
+// ApplyInverse computes v ← Q⁻¹·v in place in Θ(N·log₂N) time using the
+// Kronecker representation of the inverse (Eq. 12):
+// Q(ν)⁻¹ = (1−2p)^(−ν) ⊗ᵢ [[1−p, −p], [−p, 1−p]].
+// Only valid for uniform processes with p < ½ (Q is singular at p = ½).
+func (q *Process) ApplyInverse(v []float64) {
+	q.requireUniform("ApplyInverse")
+	q.checkDim(len(v))
+	if q.p >= 0.5 {
+		panic("mutation: Q is singular at p = 1/2; ApplyInverse undefined")
+	}
+	a := 1 - q.p
+	b := -q.p
+	for stride := 1; stride < q.n; stride <<= 1 {
+		for j := 0; j < q.n; j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := v[k], v[k+stride]
+				v[k] = a*t1 + b*t2
+				v[k+stride] = b*t1 + a*t2
+			}
+		}
+	}
+	scale := math.Pow(1-2*q.p, -float64(q.nu))
+	for i := range v {
+		v[i] *= scale
+	}
+}
+
+// ApplyShiftInvert computes v ← (Q − µI)⁻¹·v in place in Θ(N·log₂N) time
+// via the eigendecomposition route of Section 3:
+//
+//	(Q − µI)⁻¹·v = V·(Λ − µI)⁻¹·V·v,
+//
+// where V·v is one FWHT. µ must not equal any eigenvalue (1−2p)^k.
+// Only valid for uniform processes.
+func (q *Process) ApplyShiftInvert(v []float64, mu float64) error {
+	q.requireUniform("ApplyShiftInvert")
+	q.checkDim(len(v))
+	base := 1 - 2*q.p
+	inv := make([]float64, q.nu+1)
+	lam := 1.0
+	for k := 0; k <= q.nu; k++ {
+		d := lam - mu
+		if d == 0 {
+			return fmt.Errorf("mutation: shift µ = %g equals eigenvalue (1−2p)^%d", mu, k)
+		}
+		inv[k] = 1 / d
+		lam *= base
+	}
+	FWHT(v)
+	scale := 1 / float64(q.n) // the two 2^(−ν/2) factors of V·…·V combined
+	for i := range v {
+		v[i] *= inv[bits.Weight(uint64(i))] * scale
+	}
+	FWHT(v)
+	return nil
+}
+
+// ApplyShiftInvertDevice is ApplyShiftInvert with device-parallel
+// transforms and diagonal scaling.
+func (q *Process) ApplyShiftInvertDevice(d *device.Device, v []float64, mu float64) error {
+	q.requireUniform("ApplyShiftInvertDevice")
+	q.checkDim(len(v))
+	base := 1 - 2*q.p
+	inv := make([]float64, q.nu+1)
+	lam := 1.0
+	for k := 0; k <= q.nu; k++ {
+		dd := lam - mu
+		if dd == 0 {
+			return fmt.Errorf("mutation: shift µ = %g equals eigenvalue (1−2p)^%d", mu, k)
+		}
+		inv[k] = 1 / dd
+		lam *= base
+	}
+	FWHTDevice(d, v)
+	scale := 1 / float64(q.n)
+	d.LaunchRange(len(v), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] *= inv[bits.Weight(uint64(i))] * scale
+		}
+	})
+	FWHTDevice(d, v)
+	return nil
+}
+
+func (q *Process) requireUniform(op string) {
+	if !q.uniform {
+		panic(fmt.Sprintf("mutation: %s requires the uniform-rate process", op))
+	}
+}

@@ -1,0 +1,41 @@
+package ode
+
+import (
+	"testing"
+
+	"repro/internal/landscape"
+)
+
+// TestCriticalSlowingDown verifies the dynamical counterpart of the
+// closing spectral gap: relaxation to the quasispecies takes much longer
+// near the error threshold than deep inside the ordered regime. This is
+// the ODE-side view of the same phenomenon the gap estimator quantifies
+// spectrally (internal/core TestGapClosesNearThreshold) — together they
+// tie Eq. 1's dynamics to the eigenvalue analysis that justifies the
+// paper's runtime discussion.
+func TestCriticalSlowingDown(t *testing.T) {
+	const nu = 10 // threshold at p_max ≈ ln2/10 ≈ 0.069
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxSteps := func(p float64) int {
+		s := buildSystem(t, nu, p, l)
+		x := MasterStart(s.Dim())
+		_, steps, err := s.SteadyState(x, SteadyStateOptions{Tol: 1e-9, Dt: 0.02, MaxSteps: 2000000})
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		return steps
+	}
+	deep := relaxSteps(0.01)
+	near := relaxSteps(0.06)
+	if near <= deep {
+		t.Errorf("no critical slowing down: %d steps near threshold vs %d deep in the ordered regime",
+			near, deep)
+	}
+	if near < 2*deep {
+		t.Errorf("slowing down too weak: %d vs %d steps (expected ≥ 2×)", near, deep)
+	}
+	t.Logf("relaxation steps: p=0.01 → %d, p=0.06 → %d (%.1f×)", deep, near, float64(near)/float64(deep))
+}

@@ -1,0 +1,59 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzRead hardens the checkpoint parser: arbitrary byte streams must
+// either parse into a structurally valid Checkpoint or fail cleanly —
+// never panic, never allocate absurd amounts (the ν ≤ 34 concentration
+// guard), never return torn data that passes the checksum.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: valid checkpoints with and without concentrations,
+	// plus structured corruptions.
+	r := rng.New(1)
+	for _, withConc := range []bool{true, false} {
+		c := sampleCheckpoint(r, 6, withConc)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		truncated := buf.Bytes()[:buf.Len()/2]
+		f.Add(truncated)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("QSPECv01 garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection is the expected path
+		}
+		// Anything accepted must be structurally consistent.
+		if c.ChainLen < 0 || c.ChainLen > 62 {
+			t.Fatalf("accepted ν = %d", c.ChainLen)
+		}
+		if len(c.Gamma) != c.ChainLen+1 {
+			t.Fatalf("accepted |Γ| = %d for ν = %d", len(c.Gamma), c.ChainLen)
+		}
+		if c.Concentrations != nil && len(c.Concentrations) != 1<<uint(c.ChainLen) {
+			t.Fatalf("accepted %d concentrations for ν = %d", len(c.Concentrations), c.ChainLen)
+		}
+		// Round trip: what was read must re-serialize and re-read equal.
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		c2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if c2.ChainLen != c.ChainLen || c2.Lambda != c.Lambda {
+			t.Fatal("round trip changed the checkpoint")
+		}
+	})
+}

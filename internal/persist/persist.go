@@ -1,0 +1,197 @@
+// Package persist implements a small binary checkpoint format for solved
+// quasispecies distributions. At large chain lengths a solve produces a
+// 2^ν-entry vector that is expensive to recompute (and, on the paper's
+// hardware horizon, expensive to even hold); writing it once and reloading
+// it for analysis is the practical workflow.
+//
+// Format (little endian):
+//
+//	offset  size  field
+//	0       8     magic "QSPECv01"
+//	8       4     header words H (currently 6)
+//	12      H×8   ν, λ, residual, iterations, flags, γ-length
+//	...           γ values (ν+1 float64)
+//	...           concentration values (2^ν float64; omitted when the
+//	              CONC flag is clear)
+//	last 8        CRC-64/ECMA of everything before it
+//
+// All floats are IEEE-754 bit patterns; the checksum catches truncation
+// and corruption. The format is versioned through the magic string.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+var magic = [8]byte{'Q', 'S', 'P', 'E', 'C', 'v', '0', '1'}
+
+const (
+	flagHasConcentrations = 1 << 0
+	headerWords           = 6
+)
+
+// Checkpoint is the serializable state of a solved quasispecies.
+type Checkpoint struct {
+	ChainLen   int
+	Lambda     float64
+	Residual   float64
+	Iterations int
+	// Gamma holds the ν+1 class concentrations (always present).
+	Gamma []float64
+	// Concentrations holds the full 2^ν vector; nil is allowed (reduced
+	// solves of very long chains).
+	Concentrations []float64
+}
+
+// ErrCorrupt is returned when a checkpoint fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("persist: corrupt or truncated checkpoint")
+
+// Write serializes the checkpoint to w.
+func Write(w io.Writer, c *Checkpoint) error {
+	if c.ChainLen < 0 || c.ChainLen > 62 {
+		return fmt.Errorf("persist: chain length %d out of range", c.ChainLen)
+	}
+	if len(c.Gamma) != c.ChainLen+1 {
+		return fmt.Errorf("persist: Γ has %d entries, want %d", len(c.Gamma), c.ChainLen+1)
+	}
+	if c.Concentrations != nil && len(c.Concentrations) != 1<<uint(c.ChainLen) {
+		return fmt.Errorf("persist: concentration vector has %d entries, want %d",
+			len(c.Concentrations), 1<<uint(c.ChainLen))
+	}
+
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	mw := io.MultiWriter(w, crc)
+
+	if _, err := mw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(headerWords)); err != nil {
+		return err
+	}
+	var flags uint64
+	if c.Concentrations != nil {
+		flags |= flagHasConcentrations
+	}
+	header := []uint64{
+		uint64(c.ChainLen),
+		math.Float64bits(c.Lambda),
+		math.Float64bits(c.Residual),
+		uint64(c.Iterations),
+		flags,
+		uint64(len(c.Gamma)),
+	}
+	if err := binary.Write(mw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if err := writeFloats(mw, c.Gamma); err != nil {
+		return err
+	}
+	if c.Concentrations != nil {
+		if err := writeFloats(mw, c.Concentrations); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum64())
+}
+
+// Read deserializes a checkpoint from r, verifying structure and checksum.
+func Read(r io.Reader) (*Checkpoint, error) {
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	tr := io.TeeReader(r, crc)
+
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(tr, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
+	}
+	var hw uint32
+	if err := binary.Read(tr, binary.LittleEndian, &hw); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if hw < headerWords || hw > 1024 {
+		return nil, fmt.Errorf("%w: implausible header size %d", ErrCorrupt, hw)
+	}
+	header := make([]uint64, hw)
+	if err := binary.Read(tr, binary.LittleEndian, header); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	c := &Checkpoint{
+		ChainLen:   int(header[0]),
+		Lambda:     math.Float64frombits(header[1]),
+		Residual:   math.Float64frombits(header[2]),
+		Iterations: int(header[3]),
+	}
+	flags := header[4]
+	gammaLen := header[5]
+	if c.ChainLen < 0 || c.ChainLen > 62 || gammaLen != uint64(c.ChainLen+1) {
+		return nil, fmt.Errorf("%w: inconsistent dimensions (ν=%d, |Γ|=%d)", ErrCorrupt, c.ChainLen, gammaLen)
+	}
+	c.Gamma = make([]float64, gammaLen)
+	if err := readFloats(tr, c.Gamma); err != nil {
+		return nil, err
+	}
+	if flags&flagHasConcentrations != 0 {
+		if c.ChainLen > 34 {
+			return nil, fmt.Errorf("%w: refusing to allocate 2^%d entries", ErrCorrupt, c.ChainLen)
+		}
+		c.Concentrations = make([]float64, 1<<uint(c.ChainLen))
+		if err := readFloats(tr, c.Concentrations); err != nil {
+			return nil, err
+		}
+	}
+	wantSum := crc.Sum64()
+	var gotSum uint64
+	if err := binary.Read(r, binary.LittleEndian, &gotSum); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if gotSum != wantSum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return c, nil
+}
+
+func writeFloats(w io.Writer, v []float64) error {
+	const chunk = 8192
+	buf := make([]byte, 8*chunk)
+	for off := 0; off < len(v); off += chunk {
+		end := off + chunk
+		if end > len(v) {
+			end = len(v)
+		}
+		b := buf[:8*(end-off)]
+		for i, x := range v[off:end] {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, v []float64) error {
+	const chunk = 8192
+	buf := make([]byte, 8*chunk)
+	for off := 0; off < len(v); off += chunk {
+		end := off + chunk
+		if end > len(v) {
+			end = len(v)
+		}
+		b := buf[:8*(end-off)]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		for i := range v[off:end] {
+			v[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func sampleCheckpoint(r *rng.Source, nu int, withConc bool) *Checkpoint {
+	c := &Checkpoint{
+		ChainLen:   nu,
+		Lambda:     1 + r.Float64(),
+		Residual:   r.Float64() * 1e-12,
+		Iterations: int(r.Uint64n(1000)),
+		Gamma:      make([]float64, nu+1),
+	}
+	for i := range c.Gamma {
+		c.Gamma[i] = r.Float64()
+	}
+	if withConc {
+		c.Concentrations = make([]float64, 1<<uint(nu))
+		for i := range c.Concentrations {
+			c.Concentrations[i] = r.Float64()
+		}
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nu := 1 + int(r.Uint64n(12))
+		withConc := r.Uint64n(2) == 0
+		c := sampleCheckpoint(r, nu, withConc)
+
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.ChainLen != c.ChainLen || got.Lambda != c.Lambda ||
+			got.Residual != c.Residual || got.Iterations != c.Iterations {
+			return false
+		}
+		if vec.DistInf(got.Gamma, c.Gamma) != 0 {
+			return false
+		}
+		if withConc {
+			if got.Concentrations == nil || vec.DistInf(got.Concentrations, c.Concentrations) != 0 {
+				return false
+			}
+		} else if got.Concentrations != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	r := rng.New(1)
+	c := sampleCheckpoint(r, 6, true)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one payload byte.
+	mutated := append([]byte(nil), raw...)
+	mutated[len(mutated)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(mutated)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+
+	// Truncate.
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-9])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation: err = %v, want ErrCorrupt", err)
+	}
+
+	// Wrong magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("magic: err = %v, want ErrCorrupt", err)
+	}
+
+	// Empty stream.
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Checkpoint{ChainLen: -1}); err == nil {
+		t.Error("negative ν must be rejected")
+	}
+	if err := Write(&buf, &Checkpoint{ChainLen: 3, Gamma: make([]float64, 2)}); err == nil {
+		t.Error("Γ length mismatch must be rejected")
+	}
+	if err := Write(&buf, &Checkpoint{
+		ChainLen: 3, Gamma: make([]float64, 4), Concentrations: make([]float64, 7),
+	}); err == nil {
+		t.Error("concentration length mismatch must be rejected")
+	}
+}
+
+func TestOversizeAllocationRefused(t *testing.T) {
+	// Hand-craft a header claiming ν = 60 with concentrations: the reader
+	// must refuse the 2^60 allocation rather than OOM.
+	r := rng.New(2)
+	c := sampleCheckpoint(r, 4, true)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Header starts after magic (8) + header-size word (4); ν is the first
+	// uint64 there. Set it to 60 and also fix |Γ| (6th word) to 61 so the
+	// dimension consistency check passes and the allocation guard triggers.
+	putU64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			raw[off+i] = byte(v >> (8 * uint(i)))
+		}
+	}
+	putU64(12, 60)
+	putU64(12+5*8, 61)
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for oversize claim", err)
+	}
+}
+
+func TestChecksumCoversHeader(t *testing.T) {
+	r := rng.New(3)
+	c := sampleCheckpoint(r, 5, false)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt λ's low byte in the header.
+	raw[12+8] ^= 1
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("header corruption not caught: %v", err)
+	}
+}

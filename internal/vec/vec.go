@@ -1,0 +1,282 @@
+// Package vec provides the dense-vector kernels used throughout the
+// solver: dot products, norms, scaled updates and compensated summation.
+// All functions operate on []float64 in place where possible, since the
+// quasispecies state vectors have N = 2^ν entries and every avoidable copy
+// matters at large chain lengths.
+//
+// Serial implementations live in this file; parallel twins driven by the
+// device runtime are provided by the device package so that this package
+// stays dependency-free and trivially testable.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the Euclidean inner product xᵀy. It panics if the lengths
+// differ.
+func Dot(x, y []float64) float64 {
+	checkLen("Dot", len(x), len(y))
+	var s float64
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// DotKahan returns xᵀy using Kahan–Babuška compensated accumulation.
+// At N = 2^25 entries the plain left-to-right sum can lose several digits;
+// residual-based stopping tests with τ = 1e−15 need the compensated form.
+func DotKahan(x, y []float64) float64 {
+	checkLen("DotKahan", len(x), len(y))
+	var s, c float64
+	for i, xv := range x {
+		t := xv*y[i] - c
+		u := s + t
+		c = (u - s) - t
+		s = u
+	}
+	return s
+}
+
+// Sum returns the plain sum of the entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// SumKahan returns the compensated sum of the entries of x.
+func SumKahan(x []float64) float64 {
+	var s, c float64
+	for _, v := range x {
+		t := v - c
+		u := s + t
+		c = (u - s) - t
+		s = u
+	}
+	return s
+}
+
+// SumPairwise returns the sum of x using recursive pairwise splitting,
+// which has O(log n) error growth and vectorizes well. The base case is
+// unrolled plain summation.
+func SumPairwise(x []float64) float64 {
+	const base = 128
+	if len(x) <= base {
+		var s float64
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+	half := len(x) / 2
+	return SumPairwise(x[:half]) + SumPairwise(x[half:])
+}
+
+// Norm1 returns ‖x‖₁ = Σ|xᵢ|.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Norm2 returns ‖x‖₂ with scaling to avoid premature overflow/underflow.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns ‖x‖∞ = max|xᵢ|.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Scale multiplies x by a in place.
+func Scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AXPY computes y ← a·x + y in place. It panics if the lengths differ.
+func AXPY(a float64, x, y []float64) {
+	checkLen("AXPY", len(x), len(y))
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Copy copies src into dst. It panics if the lengths differ.
+func Copy(dst, src []float64) {
+	checkLen("Copy", len(dst), len(src))
+	copy(dst, src)
+}
+
+// Fill sets every entry of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Mul computes dst ← x ⊙ y elementwise. dst may alias x or y.
+func Mul(dst, x, y []float64) {
+	checkLen("Mul", len(x), len(y))
+	checkLen("Mul", len(dst), len(x))
+	for i := range dst {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+// Normalize1 scales x so that ‖x‖₁ = 1 and returns the original norm.
+// Concentration vectors in the quasispecies model are probability
+// distributions, so 1-norm normalization is the model's invariant
+// Σ xᵢ = 1. It panics if x is the zero vector.
+func Normalize1(x []float64) float64 {
+	n := Norm1(x)
+	if n == 0 {
+		panic("vec: Normalize1 of zero vector")
+	}
+	Scale(x, 1/n)
+	return n
+}
+
+// Normalize2 scales x so that ‖x‖₂ = 1 and returns the original norm.
+// It panics if x is the zero vector.
+func Normalize2(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		panic("vec: Normalize2 of zero vector")
+	}
+	Scale(x, 1/n)
+	return n
+}
+
+// MaxIndex returns the index of the largest entry of x (first on ties)
+// and that entry. It panics on an empty vector.
+func MaxIndex(x []float64) (int, float64) {
+	if len(x) == 0 {
+		panic("vec: MaxIndex of empty vector")
+	}
+	idx, best := 0, x[0]
+	for i, v := range x[1:] {
+		if v > best {
+			idx, best = i+1, v
+		}
+	}
+	return idx, best
+}
+
+// Min returns the smallest entry of x. It panics on an empty vector.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("vec: Min of empty vector")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest entry of x. It panics on an empty vector.
+func Max(x []float64) float64 {
+	_, m := MaxIndex(x)
+	return m
+}
+
+// DistInf returns ‖x − y‖∞. It panics if the lengths differ.
+func DistInf(x, y []float64) float64 {
+	checkLen("DistInf", len(x), len(y))
+	var m float64
+	for i, xv := range x {
+		if d := math.Abs(xv - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Dist2 returns ‖x − y‖₂. It panics if the lengths differ.
+func Dist2(x, y []float64) float64 {
+	checkLen("Dist2", len(x), len(y))
+	var s float64
+	for i, xv := range x {
+		d := xv - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// AllFinite reports whether every entry of x is finite (no NaN or ±Inf).
+func AllFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllPositive reports whether every entry of x is strictly positive.
+func AllPositive(x []float64) bool {
+	for _, v := range x {
+		if v <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllNonNegative reports whether every entry of x is ≥ −tol. The Perron
+// eigenvector is mathematically non-negative; tiny negative round-off is
+// tolerated by callers that pass a small tol.
+func AllNonNegative(x []float64, tol float64) bool {
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a newly allocated copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+func checkLen(op string, a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: %s length mismatch %d vs %d", op, a, b))
+	}
+}

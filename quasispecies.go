@@ -1,0 +1,197 @@
+// Package quasispecies is a fast solver for Eigen's quasispecies model of
+// the evolution of virus populations, reproducing Niederbrucker &
+// Gansterer, "A Fast Solver for Modeling the Evolution of Virus
+// Populations" (SC'11).
+//
+// A virus of chain length ν is modeled over the N = 2^ν binary sequences;
+// the long-term population — the quasispecies — is the dominant
+// eigenvector of W = Q·F, where Q is the mutation matrix and F the diagonal
+// fitness landscape. The package computes it with the paper's fast
+// mutation matrix product (Fmmp), an exact implicit transform with
+// Θ(N·log₂N) time and no matrix storage, optionally parallelized over a
+// pool of workers that mirrors the paper's GPU kernel structure.
+//
+// # Quick start
+//
+//	mut, _ := quasispecies.UniformMutation(20, 0.01)     // ν = 20, p = 0.01
+//	land, _ := quasispecies.SinglePeak(20, 2, 1)         // f₀ = 2, fᵢ = 1
+//	model, _ := quasispecies.New(mut, land)
+//	sol, _ := model.Solve()
+//	fmt.Println(sol.Lambda, sol.Gamma[0])                // mean fitness, master-class share
+//
+// Beyond the general solver the package exposes the paper's structural
+// accelerations: the exact (ν+1)×(ν+1) reduction for Hamming-distance
+// (error-class) landscapes, and fully decoupled solves for Kronecker
+// landscapes that reach chain lengths like ν = 100.
+package quasispecies
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+// MaxChainLen is the largest chain length for explicit (2^ν-state)
+// problems; Kronecker systems compose longer chains from such blocks.
+const MaxChainLen = 62
+
+// ---------------------------------------------------------------------------
+// Landscapes
+
+// Landscape is a fitness landscape F = diag(f₀ … f_{N−1}). Construct with
+// SinglePeak, LinearLandscape, ClassLandscape, RandomLandscape,
+// ExplicitLandscape or FlatLandscape.
+type Landscape struct {
+	l landscape.Landscape
+}
+
+func (l Landscape) valid() bool { return l.l != nil }
+
+// ChainLen returns ν.
+func (l Landscape) ChainLen() int { return l.l.ChainLen() }
+
+// Fitness returns fᵢ.
+func (l Landscape) Fitness(i uint64) float64 { return l.l.At(i) }
+
+// SinglePeak returns the classic landscape with a single fitter master
+// sequence: f₀ = peak, fᵢ = base otherwise (Figure 1 left uses 2 and 1).
+func SinglePeak(chainLen int, peak, base float64) (Landscape, error) {
+	l, err := landscape.NewSinglePeak(chainLen, peak, base)
+	if err != nil {
+		return Landscape{}, err
+	}
+	return Landscape{l}, nil
+}
+
+// LinearLandscape returns fᵢ = f0 − (f0−fEnd)·dH(i,0)/ν (Figure 1 right).
+func LinearLandscape(chainLen int, f0, fEnd float64) (Landscape, error) {
+	l, err := landscape.NewLinear(chainLen, f0, fEnd)
+	if err != nil {
+		return Landscape{}, err
+	}
+	return Landscape{l}, nil
+}
+
+// ClassLandscape returns the general error-class landscape fᵢ = ϕ(dH(i,0))
+// from the table phi of length ν+1.
+func ClassLandscape(phi []float64) (Landscape, error) {
+	l, err := landscape.NewErrorClass(phi)
+	if err != nil {
+		return Landscape{}, err
+	}
+	return Landscape{l}, nil
+}
+
+// RandomLandscape returns the paper's random landscape (Eq. 13):
+// f₀ = c and fᵢ = σ·(η(i)+0.5) with η uniform on [0,1), deterministic in
+// the seed. Requires 0 < σ < c/2.
+func RandomLandscape(chainLen int, c, sigma float64, seed uint64) (Landscape, error) {
+	l, err := landscape.NewRandom(chainLen, c, sigma, seed)
+	if err != nil {
+		return Landscape{}, err
+	}
+	return Landscape{l}, nil
+}
+
+// ExplicitLandscape returns the fully general landscape from an explicit
+// fitness vector of length 2^ν (all entries positive).
+func ExplicitLandscape(fitness []float64) (Landscape, error) {
+	l, err := landscape.NewVector(fitness)
+	if err != nil {
+		return Landscape{}, err
+	}
+	return Landscape{l}, nil
+}
+
+// FlatLandscape returns fᵢ = value for all i; its quasispecies is the
+// uniform distribution for every error rate.
+func FlatLandscape(chainLen int, value float64) (Landscape, error) {
+	l, err := landscape.NewUniform(chainLen, value)
+	if err != nil {
+		return Landscape{}, err
+	}
+	return Landscape{l}, nil
+}
+
+// IsClassBased reports whether the landscape depends only on the Hamming
+// distance to the master sequence, in which case Solve may use the exact
+// (ν+1)×(ν+1) reduction.
+func (l Landscape) IsClassBased() bool {
+	if !l.valid() {
+		return false
+	}
+	_, ok := landscape.ClassBased(l.l)
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Mutation processes
+
+// Mutation is a mutation matrix Q in implicit Kronecker form. Construct
+// with UniformMutation, PerSiteMutation or SiteFactors.
+type Mutation struct {
+	q *mutation.Process
+}
+
+func (m Mutation) valid() bool { return m.q != nil }
+
+// ChainLen returns ν.
+func (m Mutation) ChainLen() int { return m.q.ChainLen() }
+
+// UniformMutation returns the standard quasispecies process: every
+// position mutates independently with the same error rate 0 < p ≤ ½.
+func UniformMutation(chainLen int, p float64) (Mutation, error) {
+	q, err := mutation.NewUniform(chainLen, p)
+	if err != nil {
+		return Mutation{}, err
+	}
+	return Mutation{q}, nil
+}
+
+// PerSiteMutation returns a process with an independent symmetric error
+// rate per position: position k flips with probability rates[k]. This is
+// the simplest of the generalized processes of Section 2.2.
+func PerSiteMutation(rates []float64) (Mutation, error) {
+	factors := make([]mutation.Factor2, len(rates))
+	for k, p := range rates {
+		if !(p > 0 && p <= 0.5) {
+			return Mutation{}, fmt.Errorf("quasispecies: rate[%d] = %g outside (0, 1/2]", k, p)
+		}
+		factors[k] = mutation.UniformFactor(p)
+	}
+	q, err := mutation.NewPerSite(factors)
+	if err != nil {
+		return Mutation{}, err
+	}
+	return Mutation{q}, nil
+}
+
+// SiteFactor is a general 2×2 column-stochastic single-position process:
+// Stay0 is the probability that a 0 stays 0 (so a 0→1 mutation has
+// probability 1−Stay0) and Stay1 that a 1 stays 1. Asymmetric factors
+// model strand-biased mutation.
+type SiteFactor struct {
+	Stay0, Stay1 float64
+}
+
+// GeneralMutation returns a process from arbitrary per-position factors —
+// the full generality of Eq. 7 with position-dependent, asymmetric rates.
+func GeneralMutation(factors []SiteFactor) (Mutation, error) {
+	fs := make([]mutation.Factor2, len(factors))
+	for k, f := range factors {
+		if f.Stay0 < 0 || f.Stay0 > 1 || f.Stay1 < 0 || f.Stay1 > 1 {
+			return Mutation{}, fmt.Errorf("quasispecies: factor %d probabilities outside [0,1]", k)
+		}
+		fs[k] = mutation.Factor2{A: f.Stay0, B: 1 - f.Stay1, C: 1 - f.Stay0, D: f.Stay1}
+	}
+	q, err := mutation.NewPerSite(fs)
+	if err != nil {
+		return Mutation{}, err
+	}
+	return Mutation{q}, nil
+}
+
+// ErrInvalidModel is returned by New for inconsistent inputs.
+var ErrInvalidModel = errors.New("quasispecies: invalid model")

@@ -1,0 +1,54 @@
+package rna
+
+import (
+	"fmt"
+
+	"repro/internal/landscape"
+)
+
+// This file provides fitness-landscape constructors over the four-letter
+// sequence space, expressed in nucleotide distance rather than bit
+// distance.
+
+// ClassLandscape returns the landscape fᵢ = ϕ(d_nt(i, 0)) over 4^L
+// sequences from a table ϕ(0..L) — the four-letter analogue of the
+// Hamming-distance landscapes of Section 5.1.
+func ClassLandscape(l int, phi []float64) (landscape.Landscape, error) {
+	if len(phi) != l+1 {
+		return nil, fmt.Errorf("rna: ϕ table has %d entries, want %d", len(phi), l+1)
+	}
+	if l > 13 {
+		return nil, fmt.Errorf("rna: explicit class landscape at L = %d would need 4^%d entries; "+
+			"use SolveReduced for long chains", l, l)
+	}
+	n := 1 << (2 * uint(l))
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = phi[Hamming(uint64(i), 0, l)]
+	}
+	return landscape.NewVector(f)
+}
+
+// SinglePeakLandscape returns the four-letter single-peak landscape:
+// the master sequence has fitness peak, everything else base.
+func SinglePeakLandscape(l int, peak, base float64) (landscape.Landscape, error) {
+	phi := make([]float64, l+1)
+	phi[0] = peak
+	for k := 1; k <= l; k++ {
+		phi[k] = base
+	}
+	return ClassLandscape(l, phi)
+}
+
+// SolveAuto picks the best available strategy: the exact (L+1)×(L+1)
+// reduction when the model qualifies, the full Fmmp solve when the state
+// space is materializable, and ErrNotReducible otherwise.
+func (m *Model) SolveAuto(opts SolveOptions) (*Solution, error) {
+	if p, phi, ok := m.CanReduce(); ok {
+		return SolveReduced(m.l, p, phi)
+	}
+	if m.Dim() <= 1<<26 {
+		return m.Solve(opts)
+	}
+	return nil, fmt.Errorf("%w: L = %d, N = 4^%d", ErrNotReducible, m.l, m.l)
+}

@@ -1,0 +1,398 @@
+package rna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/landscape"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func TestEncodeLetters(t *testing.T) {
+	seq, err := Encode("ACGU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=0 at bits 0-1, C=1 at bits 2-3, G=2 at bits 4-5, U=3 at bits 6-7.
+	if seq != 0<<0|1<<2|2<<4|3<<6 {
+		t.Errorf("Encode = %b", seq)
+	}
+	if Letters(seq, 4) != "ACGU" {
+		t.Errorf("Letters = %s", Letters(seq, 4))
+	}
+	if _, err := Encode("ACGT"); err == nil {
+		t.Error("T (DNA) must be rejected")
+	}
+	if _, err := Encode(string(make([]byte, 40))); err == nil {
+		t.Error("over-long sequence must be rejected")
+	}
+}
+
+func TestNucleotideHamming(t *testing.T) {
+	a, _ := Encode("AAAA")
+	b, _ := Encode("ACGU")
+	if Hamming(a, b, 4) != 3 {
+		t.Errorf("d(AAAA, ACGU) = %d, want 3", Hamming(a, b, 4))
+	}
+	if Hamming(a, a, 4) != 0 {
+		t.Error("self-distance must be 0")
+	}
+	// Changing one nucleotide changes distance by exactly 1, even when
+	// both bits of the code differ (e.g. A=00 → U=11).
+	u, _ := Encode("UAAA")
+	if Hamming(a, u, 4) != 1 {
+		t.Errorf("d(AAAA, UAAA) = %d, want 1", Hamming(a, u, 4))
+	}
+}
+
+func TestClassSizes(t *testing.T) {
+	// Σ_k C(L,k)·3^k = 4^L.
+	for l := 1; l <= 10; l++ {
+		var sum float64
+		for k := 0; k <= l; k++ {
+			sum += ClassSize(l, k)
+		}
+		want := math.Pow(4, float64(l))
+		if math.Abs(sum-want) > 1e-6*want {
+			t.Errorf("L=%d: Σ|Γk| = %g, want %g", l, sum, want)
+		}
+	}
+}
+
+func TestSubstitutionModelsAreStochastic(t *testing.T) {
+	jc, err := JukesCantor(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Kimura(0.03, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*dense.Matrix{"JC": jc, "K2P": k2} {
+		for c, s := range m.ColumnSums() {
+			if math.Abs(s-1) > 1e-14 {
+				t.Errorf("%s column %d sums to %g", name, c, s)
+			}
+		}
+	}
+	// Kimura with α = β = p/3 degenerates to Jukes–Cantor.
+	k2jc, _ := Kimura(0.05/3, 0.05/3)
+	if vec.DistInf(k2jc.Data, jc.Data) > 1e-14 {
+		t.Error("Kimura(p/3, p/3) must equal JukesCantor(p)")
+	}
+}
+
+func TestSubstitutionValidation(t *testing.T) {
+	if _, err := JukesCantor(0); err == nil {
+		t.Error("p = 0 must be rejected")
+	}
+	if _, err := JukesCantor(0.8); err == nil {
+		t.Error("p > 3/4 must be rejected")
+	}
+	if _, err := Kimura(0.5, 0.3); err == nil {
+		t.Error("α + 2β ≥ 1 must be rejected")
+	}
+	if _, err := Kimura(0, 0.1); err == nil {
+		t.Error("α = 0 must be rejected")
+	}
+}
+
+func TestJukesCantorDetection(t *testing.T) {
+	jc, _ := JukesCantor(0.06)
+	land, _ := SinglePeakLandscape(3, 2, 1)
+	m, err := New(3, jc, land)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, phi, ok := m.CanReduce()
+	if !ok || math.Abs(p-0.06) > 1e-12 {
+		t.Errorf("CanReduce = (%g, %v)", p, ok)
+	}
+	if phi[0] != 2 || phi[1] != 1 {
+		t.Errorf("recovered ϕ = %v", phi)
+	}
+	k2, _ := Kimura(0.03, 0.01)
+	m2, err := New(3, k2, land)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := m2.CanReduce(); ok {
+		t.Error("Kimura model must not report Jukes–Cantor reducibility")
+	}
+}
+
+func TestModelSolveMatchesDense(t *testing.T) {
+	// Full grouped Fmmp solve vs explicit dense W on 4^3 = 64 states.
+	const l = 3
+	jc, _ := JukesCantor(0.05)
+	r := rng.New(1)
+	f := make([]float64, 64)
+	for i := range f {
+		f[i] = 0.5 + 2*r.Float64()
+	}
+	land, err := landscape.NewVector(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(l, jc, land)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(SolveOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dw, err := core.NewDenseW(m.process, land, core.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLam, wantX, _, err := dense.Dominant(dw.M, &dense.DominantOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Lambda-wantLam) > 1e-9 {
+		t.Errorf("λ = %.14g, want %.14g", sol.Lambda, wantLam)
+	}
+	if err := core.Concentrations(wantX); err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.DistInf(sol.Concentrations, wantX); d > 1e-8 {
+		t.Errorf("eigenvector deviates by %g", d)
+	}
+}
+
+func TestReducedQRowsStochastic(t *testing.T) {
+	for _, l := range []int{1, 4, 10, 50, 200} {
+		for _, p := range []float64{0.001, 0.05, 0.3, 0.75} {
+			m, err := ReducedQ(l, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d <= l; d++ {
+				if s := vec.Sum(m.Row(d)); math.Abs(s-1) > 1e-9 {
+					t.Errorf("L=%d p=%g: row %d sums to %.12g", l, p, d, s)
+				}
+			}
+		}
+	}
+}
+
+func TestReducedQMatchesExplicitAggregation(t *testing.T) {
+	// QΓ[d][k] must equal the dense class aggregation Σ_{j∈Γk} Q[rep_d][j].
+	const l = 4
+	const p = 0.07
+	jc, _ := JukesCantor(p)
+	land, _ := SinglePeakLandscape(l, 2, 1)
+	m, _ := New(l, jc, land)
+	q := m.process.Dense()
+	red, err := ReducedQ(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Dim()
+	for d := 0; d <= l; d++ {
+		// Representative: first d nucleotides mutated A→C.
+		var rep uint64
+		for k := 0; k < d; k++ {
+			rep |= uint64(C) << (2 * uint(k))
+		}
+		for k := 0; k <= l; k++ {
+			var want float64
+			for j := 0; j < n; j++ {
+				if Hamming(uint64(j), 0, l) == k {
+					want += q.At(int(rep), j)
+				}
+			}
+			if got := red.At(d, k); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("QΓ[%d][%d] = %.15g, want %.15g", d, k, got, want)
+			}
+		}
+	}
+}
+
+func TestReducedQClassSymmetry(t *testing.T) {
+	// |Γd|·QΓ[d][k] = |Γk|·QΓ[k][d] (detailed-balance of the symmetric Q).
+	const l = 12
+	const p = 0.04
+	m, err := ReducedQ(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d <= l; d++ {
+		for k := 0; k <= l; k++ {
+			lhs := ClassSize(l, d) * m.At(d, k)
+			rhs := ClassSize(l, k) * m.At(k, d)
+			if math.Abs(lhs-rhs) > 1e-12*(lhs+rhs+1e-300) {
+				t.Fatalf("symmetry violated at (%d,%d): %g vs %g", d, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestReducedSolveMatchesFullSolve(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		l := 2 + int(r.Uint64n(3)) // L in [2,4] → N ≤ 256
+		p := 0.01 + 0.2*r.Float64()
+		phi := make([]float64, l+1)
+		for k := range phi {
+			phi[k] = 0.5 + 2*r.Float64()
+		}
+		jc, err := JukesCantor(p)
+		if err != nil {
+			return false
+		}
+		land, err := ClassLandscape(l, phi)
+		if err != nil {
+			return false
+		}
+		m, err := New(l, jc, land)
+		if err != nil {
+			return false
+		}
+		full, err := m.Solve(SolveOptions{Tol: 1e-13})
+		if err != nil {
+			return false
+		}
+		red, err := SolveReduced(l, p, phi)
+		if err != nil {
+			return false
+		}
+		if math.Abs(red.Lambda-full.Lambda) > 1e-8*(1+full.Lambda) {
+			return false
+		}
+		for k := 0; k <= l; k++ {
+			if math.Abs(red.Gamma[k]-full.Gamma[k]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNAErrorThreshold(t *testing.T) {
+	// The error threshold exists for four letters too: single peak with
+	// σ = 2 at L = 50 collapses once p passes ≈ ln2/L·(correction).
+	const l = 50
+	phi := make([]float64, l+1)
+	phi[0] = 2
+	for k := 1; k <= l; k++ {
+		phi[k] = 1
+	}
+	low, err := SolveReduced(l, 0.005, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Gamma[0] < 0.3 {
+		t.Errorf("ordered regime: [Γ0] = %g", low.Gamma[0])
+	}
+	high, err := SolveReduced(l, 0.08, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Gamma[0] > 1e-6 {
+		t.Errorf("random regime: [Γ0] = %g", high.Gamma[0])
+	}
+}
+
+func TestSolveAuto(t *testing.T) {
+	jc, _ := JukesCantor(0.04)
+	land, _ := SinglePeakLandscape(4, 2, 1)
+	m, _ := New(4, jc, land)
+	sol, err := m.SolveAuto(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Reduced {
+		t.Error("JC + class landscape must auto-reduce")
+	}
+	// Kimura forces the full solve.
+	k2, _ := Kimura(0.02, 0.01)
+	m2, _ := New(4, k2, land)
+	sol2, err := m2.SolveAuto(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Reduced {
+		t.Error("Kimura model must not claim reduction")
+	}
+	if math.Abs(vec.Sum(sol2.Gamma)-1) > 1e-10 {
+		t.Error("Γ must sum to 1")
+	}
+}
+
+func TestPerPositionModel(t *testing.T) {
+	// Heterogeneous positions: hypervariable site with 10× the error rate.
+	const l = 3
+	jcLow, _ := JukesCantor(0.01)
+	jcHigh, _ := JukesCantor(0.1)
+	land, _ := SinglePeakLandscape(l, 2, 1)
+	m, err := NewPerPosition([]*dense.Matrix{jcLow, jcHigh, jcLow}, land)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(SolveOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hypervariable position (index 1) must carry more mutant mass:
+	// compare single-mutant concentrations at position 1 vs position 0.
+	c, _ := Encode("CAA")  // mutation at position 0
+	c1, _ := Encode("ACA") // mutation at position 1
+	if sol.Concentrations[c1] <= sol.Concentrations[c] {
+		t.Errorf("hypervariable-site mutant %g should exceed stable-site mutant %g",
+			sol.Concentrations[c1], sol.Concentrations[c])
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	jc, _ := JukesCantor(0.05)
+	landWrong, _ := landscape.NewUniform(5, 1) // 2^5, not 4^L
+	if _, err := New(3, jc, landWrong); err == nil {
+		t.Error("landscape dimension mismatch must be rejected")
+	}
+	land, _ := SinglePeakLandscape(2, 2, 1)
+	if _, err := New(0, jc, land); err == nil {
+		t.Error("L = 0 must be rejected")
+	}
+	bad := dense.NewMatrix(3, 3)
+	if _, err := NewPerPosition([]*dense.Matrix{bad, bad}, land); err == nil {
+		t.Error("non-4×4 substitution must be rejected")
+	}
+	if _, err := SolveReduced(3, 0.05, []float64{1, 1}); err == nil {
+		t.Error("ϕ length mismatch must be rejected")
+	}
+	if _, err := SolveReduced(3, 0.05, []float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative ϕ must be rejected")
+	}
+	if _, err := ClassLandscape(20, make([]float64, 21)); err == nil {
+		t.Error("oversized explicit class landscape must be rejected")
+	}
+}
+
+func TestUniformLimitFourLetters(t *testing.T) {
+	// p = 3/4 is the four-letter random-replication limit: uniform
+	// distribution regardless of fitness.
+	const l = 3
+	jc, _ := JukesCantor(0.75)
+	land, _ := SinglePeakLandscape(l, 2, 1)
+	m, _ := New(l, jc, land)
+	sol, err := m.Solve(SolveOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 64
+	for i, v := range sol.Concentrations {
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want uniform %g", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package quasispecies
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/errorclass"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/vec"
+)
+
+// Method selects the solver backend.
+type Method int
+
+const (
+	// MethodAuto picks the exact error-class reduction when the landscape
+	// permits it, Pi(Fmmp) otherwise.
+	MethodAuto Method = iota
+	// MethodFmmp is the paper's fast solver: power iteration on the
+	// Θ(N·log₂N) implicit product.
+	MethodFmmp
+	// MethodLanczos is restarted Lanczos on the symmetric formulation
+	// F^½QF^½ — fewer matrix products near the error threshold, at the
+	// cost of storing a Krylov basis.
+	MethodLanczos
+	// MethodXmvp is the sparsified XOR-based baseline of the authors'
+	// earlier work; accuracy is bounded by the truncation radius.
+	MethodXmvp
+	// MethodReduced forces the exact (ν+1)×(ν+1) error-class reduction
+	// (fails for landscapes without class structure).
+	MethodReduced
+	// MethodArnoldi is restarted Arnoldi iteration on Q·F — the Krylov
+	// solver that remains applicable when generalized (asymmetric)
+	// mutation makes W non-symmetrizable and Lanczos unusable.
+	MethodArnoldi
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodFmmp:
+		return "Pi(Fmmp)"
+	case MethodLanczos:
+		return "Lanczos(Fmmp)"
+	case MethodXmvp:
+		return "Pi(Xmvp)"
+	case MethodReduced:
+		return "reduced"
+	case MethodArnoldi:
+		return "Arnoldi(Fmmp)"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Model is a configured quasispecies problem ready to solve. Create with
+// New; a Model is safe for repeated Solve calls but not for concurrent use.
+type Model struct {
+	mut  Mutation
+	land Landscape
+
+	method     Method
+	tol        float64
+	tolSet     bool
+	maxIter    int
+	useShift   bool
+	workers    int
+	xmvpRadius int
+	dev        *device.Device
+}
+
+// Option configures a Model.
+type Option func(*Model) error
+
+// WithMethod selects the solver backend (default MethodAuto).
+func WithMethod(m Method) Option {
+	return func(mo *Model) error {
+		if m < MethodAuto || m > MethodArnoldi {
+			return fmt.Errorf("quasispecies: unknown method %d", int(m))
+		}
+		mo.method = m
+		return nil
+	}
+}
+
+// WithTolerance sets the residual threshold τ on ‖W·x − λ·x‖₂. The
+// default adapts to the problem's floating-point floor,
+// max(1e−12, 64·ε·f_max·√N), so large chain lengths do not request an
+// unattainable residual.
+func WithTolerance(tol float64) Option {
+	return func(mo *Model) error {
+		if tol <= 0 {
+			return fmt.Errorf("quasispecies: tolerance %g must be positive", tol)
+		}
+		mo.tol = tol
+		mo.tolSet = true
+		return nil
+	}
+}
+
+// WithMaxIterations caps the iteration count (default 500000).
+func WithMaxIterations(n int) Option {
+	return func(mo *Model) error {
+		if n <= 0 {
+			return fmt.Errorf("quasispecies: max iterations %d must be positive", n)
+		}
+		mo.maxIter = n
+		return nil
+	}
+}
+
+// WithShift toggles the conservative convergence shift
+// µ = (1−2p)^ν·f_min (default on; ignored for non-uniform processes).
+func WithShift(enabled bool) Option {
+	return func(mo *Model) error {
+		mo.useShift = enabled
+		return nil
+	}
+}
+
+// WithWorkers runs the solver's kernels on a pool of n worker goroutines
+// (the paper's GPU analogue); n <= 0 selects all available cores, n == 1
+// is serial (default).
+func WithWorkers(n int) Option {
+	return func(mo *Model) error {
+		mo.workers = n
+		return nil
+	}
+}
+
+// WithXmvpRadius sets the truncation radius dmax for MethodXmvp
+// (default 5, the paper's ≈1e-10-accuracy setting).
+func WithXmvpRadius(dmax int) Option {
+	return func(mo *Model) error {
+		if dmax < 1 {
+			return fmt.Errorf("quasispecies: Xmvp radius %d must be ≥ 1", dmax)
+		}
+		mo.xmvpRadius = dmax
+		return nil
+	}
+}
+
+// New assembles a model from a mutation process and a fitness landscape
+// of the same chain length.
+func New(m Mutation, l Landscape, opts ...Option) (*Model, error) {
+	if !m.valid() || !l.valid() {
+		return nil, fmt.Errorf("%w: use the package constructors for Mutation and Landscape", ErrInvalidModel)
+	}
+	if m.ChainLen() != l.ChainLen() {
+		return nil, fmt.Errorf("%w: mutation ν = %d but landscape ν = %d",
+			ErrInvalidModel, m.ChainLen(), l.ChainLen())
+	}
+	mo := &Model{
+		mut: m, land: l,
+		method: MethodAuto, tol: 1e-12, maxIter: 500000,
+		useShift: true, workers: 1, xmvpRadius: 5,
+	}
+	for _, o := range opts {
+		if err := o(mo); err != nil {
+			return nil, err
+		}
+	}
+	if mo.workers != 1 {
+		mo.dev = device.New(mo.workers)
+	}
+	return mo, nil
+}
+
+// ChainLen returns ν.
+func (mo *Model) ChainLen() int { return mo.mut.ChainLen() }
+
+// Dim returns N = 2^ν.
+func (mo *Model) Dim() int { return mo.mut.q.Dim() }
+
+// Solution is a solved quasispecies.
+type Solution struct {
+	// Lambda is the dominant eigenvalue of W = Q·F — the mean fitness of
+	// the stationary population.
+	Lambda float64
+	// Concentrations holds the relative concentration xᵢ of every
+	// sequence, Σxᵢ = 1. Nil when the reduced method solved a chain too
+	// long to materialize; Gamma is always populated.
+	Concentrations []float64
+	// Gamma holds the cumulative error-class concentrations
+	// [Γ_0] … [Γ_ν] around the master sequence (the Figure 1 curves).
+	Gamma []float64
+	// Iterations used by the underlying eigensolver.
+	Iterations int
+	// Residual is the final ‖W·x − λ·x‖₂ (0 reported by the reduced
+	// method, which is exact to dense-solver precision).
+	Residual float64
+	// Method that produced the solution.
+	Method Method
+}
+
+// MasterConcentration returns x₀, the stationary concentration of the
+// error-free master sequence.
+func (s *Solution) MasterConcentration() float64 {
+	if s.Concentrations != nil {
+		return s.Concentrations[0]
+	}
+	return s.Gamma[0] // Γ₀ = {master} alone
+}
+
+// Solve computes the quasispecies distribution.
+func (mo *Model) Solve() (*Solution, error) {
+	method := mo.method
+	if method == MethodAuto {
+		if _, ok := mo.mut.q.Uniform(); ok && mo.land.IsClassBased() {
+			method = MethodReduced
+		} else {
+			method = MethodFmmp
+		}
+	}
+	switch method {
+	case MethodReduced:
+		return mo.solveReduced()
+	case MethodFmmp:
+		return mo.solvePower()
+	case MethodXmvp:
+		op, err := mo.buildXmvpOperator()
+		if err != nil {
+			return nil, err
+		}
+		return mo.solveWithOperator(op, MethodXmvp)
+	case MethodLanczos:
+		return mo.solveLanczos()
+	case MethodArnoldi:
+		return mo.solveArnoldi()
+	default:
+		return nil, fmt.Errorf("%w: unknown method %v", ErrInvalidModel, method)
+	}
+}
+
+func (mo *Model) buildXmvpOperator() (core.Operator, error) {
+	p, ok := mo.mut.q.Uniform()
+	if !ok {
+		return nil, fmt.Errorf("%w: MethodXmvp requires the uniform-rate process", ErrInvalidModel)
+	}
+	x, err := mutation.NewXmvp(mo.ChainLen(), p, mo.xmvpRadius)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewXmvpOperator(x, mo.land.l, core.Right, mo.dev)
+}
+
+func (mo *Model) solvePower() (*Solution, error) {
+	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+	if err != nil {
+		return nil, err
+	}
+	return mo.solveWithOperator(op, MethodFmmp)
+}
+
+func (mo *Model) solveWithOperator(op core.Operator, method Method) (*Solution, error) {
+	popts := core.PowerOptions{
+		Tol: mo.effectiveTol(), MaxIter: mo.maxIter,
+		Start: core.FitnessStart(mo.land.l),
+		Dev:   mo.dev,
+	}
+	if mo.useShift {
+		popts.Shift = core.ConservativeShift(mo.mut.q, mo.land.l)
+	}
+	res, err := core.PowerIteration(op, popts)
+	if err != nil {
+		return nil, err
+	}
+	return mo.finishSolution(res.Lambda, res.Vector, res.Iterations, res.Residual, method)
+}
+
+func (mo *Model) solveLanczos() (*Solution, error) {
+	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Symmetric, mo.dev)
+	if err != nil {
+		return nil, err
+	}
+	start := core.FitnessStart(mo.land.l)
+	res, err := core.Lanczos(op, core.LanczosOptions{Tol: mo.effectiveTol(), Start: start})
+	if err != nil {
+		return nil, err
+	}
+	// Convert the symmetric-form eigenvector back to concentrations.
+	x := res.Vector
+	if err := core.ConvertEigenvector(x, core.Symmetric, core.Right, mo.land.l); err != nil {
+		return nil, err
+	}
+	return mo.finishSolution(res.Lambda, x, res.MatVecs, res.Residual, MethodLanczos)
+}
+
+func (mo *Model) finishSolution(lambda float64, x []float64, iters int, residual float64, method Method) (*Solution, error) {
+	if err := core.Concentrations(x); err != nil {
+		return nil, err
+	}
+	gamma, err := core.ClassConcentrations(mo.ChainLen(), x)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Lambda: lambda, Concentrations: x, Gamma: gamma,
+		Iterations: iters, Residual: residual, Method: method,
+	}, nil
+}
+
+func (mo *Model) solveArnoldi() (*Solution, error) {
+	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Arnoldi(op, core.ArnoldiOptions{
+		Tol: mo.effectiveTol(), Start: core.FitnessStart(mo.land.l),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mo.finishSolution(res.Lambda, res.Vector, res.MatVecs, res.Residual, MethodArnoldi)
+}
+
+// effectiveTol returns the user's tolerance, or the floating-point-floor
+// default for this problem when none was set.
+func (mo *Model) effectiveTol() float64 {
+	if mo.tolSet {
+		return mo.tol
+	}
+	return core.DefaultTolerance(mo.land.l)
+}
+
+func (mo *Model) solveReduced() (*Solution, error) {
+	p, ok := mo.mut.q.Uniform()
+	if !ok {
+		return nil, fmt.Errorf("%w: the error-class reduction requires the uniform-rate process", ErrInvalidModel)
+	}
+	phi, ok := landscape.ClassBased(mo.land.l)
+	if !ok {
+		return nil, fmt.Errorf("%w: the error-class reduction requires a class-based landscape", ErrInvalidModel)
+	}
+	red, err := errorclass.New(phi, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := red.Solve()
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Lambda: res.Lambda, Gamma: res.Gamma,
+		Iterations: res.Iterations, Method: MethodReduced,
+	}
+	if mo.ChainLen() <= 30 {
+		x, err := errorclass.Expand(res.ClassVector)
+		if err != nil {
+			return nil, err
+		}
+		sol.Concentrations = x
+	}
+	return sol, nil
+}
+
+// Residual evaluates ‖W·x − λ·x‖₂ for an arbitrary candidate solution —
+// the paper's accuracy measure R(λ̃, x̃), usable to cross-check any method
+// against the fast exact operator.
+func (mo *Model) Residual(lambda float64, x []float64) (float64, error) {
+	if len(x) != mo.Dim() {
+		return 0, fmt.Errorf("%w: vector length %d, want %d", ErrInvalidModel, len(x), mo.Dim())
+	}
+	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+	if err != nil {
+		return 0, err
+	}
+	w := make([]float64, len(x))
+	op.Apply(w, x)
+	vec.AXPY(-lambda, x, w)
+	return vec.Norm2(w), nil
+}

@@ -1,0 +1,148 @@
+package quasispecies
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/kron"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+// ThresholdPoint is one error rate of an error-threshold sweep: the
+// cumulative class concentrations [Γ_0] … [Γ_ν] at that p.
+type ThresholdPoint struct {
+	P     float64
+	Gamma []float64
+}
+
+// ThresholdCurve sweeps the error rate p over the given values for a
+// class-based landscape and returns the Figure 1 curves. The exact
+// (ν+1)×(ν+1) reduction makes the sweep cheap at any chain length.
+func ThresholdCurve(l Landscape, ps []float64) ([]ThresholdPoint, error) {
+	if !l.valid() {
+		return nil, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
+	}
+	pts, err := harness.ThresholdSweep(l.l, ps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ThresholdPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = ThresholdPoint{P: pt.P, Gamma: pt.Gamma}
+	}
+	return out, nil
+}
+
+// LocateErrorThreshold bisects the critical error rate p_max at which the
+// ordered quasispecies of a class-based landscape collapses into the
+// uniform distribution (the Figure 1 phase transition), searching the
+// bracket [lo, hi] to within tol.
+func LocateErrorThreshold(l Landscape, lo, hi, tol float64) (float64, error) {
+	if !l.valid() {
+		return 0, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
+	}
+	return harness.LocateThreshold(l.l, lo, hi, tol)
+}
+
+// TheoreticalErrorThreshold returns the first-order estimate
+// p_max ≈ 1 − σ^(−1/ν) for a single-peak landscape with superiority
+// σ = f₀/f_base.
+func TheoreticalErrorThreshold(sigma float64, chainLen int) (float64, error) {
+	return harness.TheoreticalThreshold(sigma, chainLen)
+}
+
+// ---------------------------------------------------------------------------
+// Kronecker-structured systems (Section 5.2)
+
+// KroneckerBlock is one independent group of a long-chain system: a block
+// of positions with its own error rate and fitness factor.
+type KroneckerBlock struct {
+	// ChainLen is the block's width gᵢ in positions.
+	ChainLen int
+	// ErrorRate is the uniform per-position error rate within the block.
+	ErrorRate float64
+	// Fitness is the block's diagonal fitness factor of length 2^ChainLen;
+	// the full landscape is the Kronecker product of the block factors.
+	Fitness []float64
+}
+
+// KroneckerSolution is the implicitly represented quasispecies of a
+// Kronecker-structured system. The full eigenvector has 2^ν entries and is
+// never materialized; concentrations are accessed per sequence or as
+// class aggregates.
+type KroneckerSolution struct {
+	res      *kron.Result
+	chainLen int
+}
+
+// ChainLen returns the total ν = Σ gᵢ.
+func (s *KroneckerSolution) ChainLen() int { return s.chainLen }
+
+// Lambda returns the dominant eigenvalue λ = Π λᵢ.
+func (s *KroneckerSolution) Lambda() float64 { return s.res.Lambda }
+
+// Concentration returns xᵢ for a single sequence (ν ≤ 62).
+func (s *KroneckerSolution) Concentration(i uint64) (float64, error) { return s.res.At(i) }
+
+// MasterConcentration returns x₀ at any chain length.
+func (s *KroneckerSolution) MasterConcentration() float64 { return s.res.MasterConcentration() }
+
+// Gamma returns the exact cumulative class concentrations [Γ_0] … [Γ_ν],
+// computed by convolution over the blocks — Θ(ν²) regardless of 2^ν.
+func (s *KroneckerSolution) Gamma() []float64 { return s.res.ClassConcentrations() }
+
+// ClassEnvelope returns per-class minimum and maximum single-sequence
+// concentrations — the error-threshold diagnostic Section 5.2 proposes.
+func (s *KroneckerSolution) ClassEnvelope() (min, max []float64) { return s.res.ClassMinMax() }
+
+// SolveKronecker solves a long-chain quasispecies problem whose mutation
+// process and fitness landscape share Kronecker block structure (Eqs. 11
+// and 18): the problem decouples into one independent solve per block
+// ("for a Kronecker fitness landscape with g = 4 [a chain length ν = 100]
+// could be reduced to four subproblems of dimension 2^25").
+func SolveKronecker(blocks []KroneckerBlock, opts ...Option) (*KroneckerSolution, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%w: no blocks", ErrInvalidModel)
+	}
+	// Reuse Model option parsing for tolerance/shift settings.
+	cfg := &Model{maxIter: 500000, useShift: true, workers: 1, xmvpRadius: 5}
+	for _, o := range opts {
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	factors := make([]kron.Factor, len(blocks))
+	total := 0
+	for i, b := range blocks {
+		q, err := mutation.NewUniform(b.ChainLen, b.ErrorRate)
+		if err != nil {
+			return nil, fmt.Errorf("quasispecies: block %d: %w", i, err)
+		}
+		f, err := landscape.NewVector(b.Fitness)
+		if err != nil {
+			return nil, fmt.Errorf("quasispecies: block %d: %w", i, err)
+		}
+		if f.ChainLen() != b.ChainLen {
+			return nil, fmt.Errorf("%w: block %d fitness has 2^%d entries, want 2^%d",
+				ErrInvalidModel, i, f.ChainLen(), b.ChainLen)
+		}
+		factors[i] = kron.Factor{Q: q, F: f}
+		total += b.ChainLen
+	}
+	sys, err := kron.NewSystem(factors)
+	if err != nil {
+		return nil, err
+	}
+	tol := 0.0 // 0 selects each factor's floating-point-floor default
+	if cfg.tolSet {
+		tol = cfg.tol
+	}
+	res, err := sys.Solve(kron.SolveOptions{
+		Tol: tol, MaxIter: cfg.maxIter, UseShift: cfg.useShift,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KroneckerSolution{res: res, chainLen: total}, nil
+}
