@@ -383,6 +383,83 @@ func BenchmarkAblationShiftInvertQ(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Kernel ablations: cache-blocked vs naive butterflies, pool vs spawn dispatch
+
+// BenchmarkKernelFmmpBlockedVsNaive compares the production cache-blocked
+// stage-fused butterfly kernel against the literal one-pass-per-stage loop
+// of Algorithm 1 at figure scales. The two are bit-identical in output; the
+// difference is purely memory traffic (no stage streams the vector at a
+// stride larger than the tile).
+func BenchmarkKernelFmmpBlockedVsNaive(b *testing.B) {
+	for _, nu := range []int{16, 20, 22} {
+		q := mutation.MustUniform(nu, 0.01)
+		v := make([]float64, q.Dim())
+		vec.Fill(v, 1)
+		b.Run(fmt.Sprintf("naive/nu%d", nu), func(b *testing.B) {
+			b.SetBytes(int64(8 * q.Dim()))
+			for i := 0; i < b.N; i++ {
+				q.ApplyNaive(v)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked/nu%d", nu), func(b *testing.B) {
+			b.SetBytes(int64(8 * q.Dim()))
+			for i := 0; i < b.N; i++ {
+				q.Apply(v)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelFWHTBlockedVsNaive is the same comparison for the
+// Walsh–Hadamard transform backing the shift-invert product.
+func BenchmarkKernelFWHTBlockedVsNaive(b *testing.B) {
+	for _, nu := range []int{16, 20, 22} {
+		v := make([]float64, 1<<uint(nu))
+		vec.Fill(v, 1)
+		b.Run(fmt.Sprintf("naive/nu%d", nu), func(b *testing.B) {
+			b.SetBytes(int64(8 * len(v)))
+			for i := 0; i < b.N; i++ {
+				mutation.FWHTNaive(v)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked/nu%d", nu), func(b *testing.B) {
+			b.SetBytes(int64(8 * len(v)))
+			for i := 0; i < b.N; i++ {
+				mutation.FWHT(v)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelPoolVsSpawn compares the persistent worker-pool dispatch
+// with fused stage-group launches (the production path) against the legacy
+// goroutine-per-chunk spawn dispatch with one launch per butterfly stage —
+// the software analogue of kernel-launch overhead on the card.
+func BenchmarkKernelPoolVsSpawn(b *testing.B) {
+	for _, nu := range []int{16, 20} {
+		q := mutation.MustUniform(nu, 0.01)
+		v := make([]float64, q.Dim())
+		vec.Fill(v, 1)
+		for _, workers := range []int{2, 4} {
+			spawnDev := device.New(workers, device.WithSpawnDispatch())
+			poolDev := device.New(workers)
+			b.Run(fmt.Sprintf("spawn-naive/nu%d/workers%d", nu, workers), func(b *testing.B) {
+				b.SetBytes(int64(8 * q.Dim()))
+				for i := 0; i < b.N; i++ {
+					q.ApplyDeviceNaive(spawnDev, v)
+				}
+			})
+			b.Run(fmt.Sprintf("pool-blocked/nu%d/workers%d", nu, workers), func(b *testing.B) {
+				b.SetBytes(int64(8 * q.Dim()))
+				for i := 0; i < b.N; i++ {
+					q.ApplyDevice(poolDev, v)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkODEStep measures one RK4 step of the replicator–mutator system
 // (Eq. 1) on the fast operator.
 func BenchmarkODEStep(b *testing.B) {

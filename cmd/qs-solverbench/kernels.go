@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/mutation"
+	"repro/internal/vec"
+)
+
+// Kernel ablation mode (-kernels): measures the two optimizations of the
+// kernel runtime in isolation, on the pure mutation product Q·v where they
+// act —
+//
+//   - serial: the cache-blocked stage-fused butterflies (Apply) against the
+//     literal one-pass-per-stage loop of Algorithm 1 (ApplyNaive);
+//   - parallel: the persistent worker pool with fused stage-group launches
+//     (ApplyDevice) against the legacy goroutine-per-chunk spawn dispatch
+//     with one launch per stage (ApplyDeviceNaive), the software analogue
+//     of per-stage kernel-launch overhead.
+//
+// Results go to stdout as TSV; -json additionally writes a machine-readable
+// baseline (the committed results/BENCH_kernels.json is produced this way).
+
+// kernelPoint is one row of the ablation table.
+type kernelPoint struct {
+	Nu              int     `json:"nu"`
+	N               int     `json:"n"`
+	SerialNaiveS    float64 `json:"serial_naive_s"`
+	SerialBlockedS  float64 `json:"serial_blocked_s"`
+	SerialSpeedup   float64 `json:"serial_speedup"`
+	ParallelSpawnS  float64 `json:"parallel_spawn_s"`
+	ParallelPoolS   float64 `json:"parallel_pool_s"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// kernelReport is the JSON baseline document.
+type kernelReport struct {
+	P          float64       `json:"p"`
+	TileBits   int           `json:"tile_bits"`
+	Workers    int           `json:"workers"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Reps       int           `json:"reps"`
+	Points     []kernelPoint `json:"points"`
+}
+
+// bestOf returns the fastest of reps timed runs of f (per-run wall time).
+func bestOf(reps int, f func()) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		el := time.Since(start).Seconds()
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+func runKernelBench(w io.Writer, nuMin, nuMax, workers, reps int, p float64, jsonPath string) error {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	spawnDev := device.New(workers, device.WithSpawnDispatch())
+	poolDev := device.New(workers)
+
+	rep := kernelReport{
+		P: p, TileBits: mutation.TileBits(), Workers: workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Reps: reps,
+	}
+	fmt.Fprintf(w, "# Kernel ablation: one Q·v product, p = %g, tile = 2^%d elements, %d workers (best of %d)\n",
+		p, mutation.TileBits(), workers, reps)
+	fmt.Fprintln(w, "# serial: blocked stage-fused butterflies vs literal Algorithm 1 stage loop")
+	fmt.Fprintln(w, "# parallel: persistent pool + fused stage-group launches vs goroutine-spawn per stage")
+	fmt.Fprintln(w, "nu\tN\tt_naive[s]\tt_blocked[s]\tspeedup\tt_spawn[s]\tt_pool[s]\tspeedup")
+	for nu := nuMin; nu <= nuMax; nu++ {
+		q, err := mutation.NewUniform(nu, p)
+		if err != nil {
+			return err
+		}
+		v := make([]float64, q.Dim())
+		vec.Fill(v, 1.0/float64(q.Dim()))
+		// Warm the caches and the worker pool once per size.
+		q.Apply(v)
+		q.ApplyDevice(poolDev, v)
+
+		pt := kernelPoint{Nu: nu, N: q.Dim()}
+		pt.SerialNaiveS = bestOf(reps, func() { q.ApplyNaive(v) })
+		pt.SerialBlockedS = bestOf(reps, func() { q.Apply(v) })
+		pt.ParallelSpawnS = bestOf(reps, func() { q.ApplyDeviceNaive(spawnDev, v) })
+		pt.ParallelPoolS = bestOf(reps, func() { q.ApplyDevice(poolDev, v) })
+		pt.SerialSpeedup = pt.SerialNaiveS / pt.SerialBlockedS
+		pt.ParallelSpeedup = pt.ParallelSpawnS / pt.ParallelPoolS
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(w, "%d\t%d\t%.3e\t%.3e\t%.2f\t%.3e\t%.3e\t%.2f\n",
+			pt.Nu, pt.N, pt.SerialNaiveS, pt.SerialBlockedS, pt.SerialSpeedup,
+			pt.ParallelSpawnS, pt.ParallelPoolS, pt.ParallelSpeedup)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,8 +9,14 @@
 // conservative shift µ = (1−2p)^ν·f_min cuts the iteration count by about
 // ten percent and more on random landscapes.
 //
+// With -kernels it runs the kernel-runtime ablation instead: blocked vs
+// naive serial butterflies and pool vs spawn parallel dispatch on one Q·v
+// product per ν (see kernels.go); -json additionally writes the table as a
+// machine-readable baseline.
+//
 //	qs-solverbench -numin 10 -numax 22 -workers 0 > fig3.tsv
 //	qs-solverbench -shift-study -nu 16
+//	qs-solverbench -kernels -numin 14 -numax 22 -json results/BENCH_kernels.json
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/harness"
+	"repro/internal/mutation"
 )
 
 func main() {
@@ -39,11 +46,26 @@ func main() {
 		shiftStudy = flag.Bool("shift-study", false, "run the shifted-vs-plain iteration comparison instead")
 		nu         = flag.Int("nu", 16, "chain length for -shift-study")
 		seeds      = flag.Int("seeds", 8, "number of random landscapes for -shift-study")
+		kernels    = flag.Bool("kernels", false, "run the kernel ablation (blocked vs naive, pool vs spawn) instead")
+		tile       = flag.Int("tile", 0, "log2 of the kernel tile size in float64 elements (0 = default)")
+		reps       = flag.Int("reps", 5, "repetitions per measurement for -kernels (best-of)")
+		jsonPath   = flag.String("json", "", "with -kernels: also write the results as JSON to this file")
 	)
 	flag.Parse()
+	if *tile > 0 {
+		mutation.SetTileBits(*tile)
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+
+	if *kernels {
+		if *nuMin < 1 || *nuMax < *nuMin || *nuMax > 28 {
+			exitOn(fmt.Errorf("invalid ν range [%d, %d]", *nuMin, *nuMax))
+		}
+		exitOn(runKernelBench(w, *nuMin, *nuMax, *workers, *reps, *p, *jsonPath))
+		return
+	}
 
 	if *shiftStudy {
 		seedList := make([]uint64, *seeds)

@@ -261,6 +261,10 @@ type ShiftedOperator struct {
 	Base Operator
 	Mu   float64
 	Dev  *device.Device
+
+	// scratch preserves src across aliased Apply calls; allocated once on
+	// first use instead of cloning src every iteration.
+	scratch []float64
 }
 
 func (op *ShiftedOperator) Dim() int { return op.Base.Dim() }
@@ -269,7 +273,11 @@ func (op *ShiftedOperator) Dim() int { return op.Base.Dim() }
 func (op *ShiftedOperator) Apply(dst, src []float64) {
 	if &dst[0] == &src[0] {
 		// In-place: need the original src for the shift term.
-		tmp := vec.Clone(src)
+		if len(op.scratch) != len(src) {
+			op.scratch = make([]float64, len(src))
+		}
+		tmp := op.scratch
+		copyInto(op.Dev, tmp, src)
 		op.Base.Apply(dst, tmp)
 		axpyInto(op.Dev, -op.Mu, tmp, dst)
 		return

@@ -9,14 +9,20 @@
 //
 //   - Launch(n, kernel) runs kernel(id) for every id in [0, n) and returns
 //     only after all logical threads finished (the stage barrier);
-//   - logical threads are chunked over a fixed pool of worker goroutines,
-//     the software analogue of scheduling thread blocks over multiprocessors;
+//   - LaunchStages dispatches a whole fused stage-group as one launch with
+//     a single barrier, the dispatch form used by the cache-blocked
+//     butterfly kernels (one barrier per group instead of one per stage);
+//   - logical threads are chunked over a persistent pool of long-lived
+//     worker goroutines parked on a channel (see pool.go), the software
+//     analogue of scheduling thread blocks over resident multiprocessors;
 //   - Reduce implements the parallel reduction tree used for norms and
 //     residuals, which the paper notes "can be relatively well parallelized".
 //
 // A Device with one worker executes everything on the calling goroutine,
 // giving a serial twin with identical semantics for testing. Launch
-// statistics are recorded so benchmarks can report grid sizes.
+// statistics are recorded so benchmarks can report grid sizes. The legacy
+// goroutine-per-chunk dispatch is kept behind WithSpawnDispatch so the
+// pool-vs-spawn cost can be measured rather than asserted.
 package device
 
 import (
@@ -26,18 +32,21 @@ import (
 	"sync/atomic"
 )
 
-// Device executes data-parallel kernels over a pool of worker goroutines.
-// A Device is safe for sequential reuse; concurrent Launch calls on the
-// same Device are serialized by the caller (the power iteration is a
-// sequential outer loop, as on real hardware).
+// Device executes data-parallel kernels over worker goroutines. A Device is
+// safe for sequential reuse; concurrent Launch calls on the same Device are
+// permitted (the pool serves them independently) but kernels racing on the
+// same data remain the caller's responsibility.
 type Device struct {
 	workers int
 	grain   int
+	spawn   bool // legacy goroutine-per-chunk dispatch (benchmarks only)
 
 	launches       atomic.Int64
 	threadsTotal   atomic.Int64
 	chunksTotal    atomic.Int64
 	reduceLaunches atomic.Int64
+	stageLaunches  atomic.Int64
+	stagesFused    atomic.Int64
 }
 
 // Option configures a Device.
@@ -53,6 +62,14 @@ func WithGrain(g int) Option {
 			d.grain = g
 		}
 	}
+}
+
+// WithSpawnDispatch selects the legacy dispatch that spawns one goroutine
+// per chunk on every launch instead of reusing the persistent worker pool.
+// It exists so benchmarks can quantify the per-launch scheduling cost the
+// pool removes; solver code should never use it.
+func WithSpawnDispatch() Option {
+	return func(d *Device) { d.spawn = true }
 }
 
 // New returns a Device with the given number of workers. workers <= 0
@@ -87,6 +104,19 @@ func (d *Device) Launch(n int, kernel func(id int)) {
 	})
 }
 
+// plan partitions a grid of n logical threads into contiguous chunks of at
+// least grain threads, at most one chunk per worker.
+func (d *Device) plan(n, grain int) (chunk, nchunks int) {
+	if grain < 1 {
+		grain = 1
+	}
+	chunk = (n + d.workers - 1) / d.workers
+	if chunk < grain {
+		chunk = grain
+	}
+	return chunk, (n + chunk - 1) / chunk
+}
+
 // LaunchRange runs kernel(lo, hi) over a partition of [0, n) into
 // contiguous chunks. It is the chunked form of Launch for kernels that can
 // amortize per-thread setup over a range, mirroring how real kernels
@@ -98,50 +128,74 @@ func (d *Device) LaunchRange(n int, kernel func(lo, hi int)) {
 	d.launches.Add(1)
 	d.threadsTotal.Add(int64(n))
 
-	chunk := (n + d.workers - 1) / d.workers
-	if chunk < d.grain {
-		chunk = d.grain
-	}
-	nchunks := (n + chunk - 1) / chunk
+	chunk, nchunks := d.plan(n, d.grain)
 	d.chunksTotal.Add(int64(nchunks))
+	d.run(n, chunk, nchunks, kernel)
+}
 
+// LaunchStages dispatches a fused group of `stages` dependent butterfly
+// stages as ONE data-parallel launch over n independent work items: the
+// kernel applies the whole stage-group to each item it receives, so the
+// only barrier is the launch's own completion — one barrier per group
+// instead of one per stage. weight is the number of scalar elements each
+// work item touches (e.g. the tile length); the dispatch grain is scaled by
+// it so heavyweight items still spread across workers.
+func (d *Device) LaunchStages(stages, n, weight int, kernel func(lo, hi int)) {
+	if n <= 0 || stages <= 0 {
+		return
+	}
+	d.launches.Add(1)
+	d.stageLaunches.Add(1)
+	d.stagesFused.Add(int64(stages))
+	d.threadsTotal.Add(int64(n))
+
+	if weight < 1 {
+		weight = 1
+	}
+	chunk, nchunks := d.plan(n, d.grain/weight)
+	d.chunksTotal.Add(int64(nchunks))
+	d.run(n, chunk, nchunks, kernel)
+}
+
+// run executes a planned launch with the configured dispatch.
+func (d *Device) run(n, chunk, nchunks int, kernel func(lo, hi int)) {
 	if nchunks == 1 || d.workers == 1 {
 		kernel(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(nchunks)
-	for c := 0; c < nchunks; c++ {
-		lo := c * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	if d.spawn {
+		var wg sync.WaitGroup
+		wg.Add(nchunks)
+		for c := 0; c < nchunks; c++ {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			go func(lo, hi int) {
+				defer wg.Done()
+				kernel(lo, hi)
+			}(lo, hi)
 		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			kernel(lo, hi)
-		}(lo, hi)
+		wg.Wait()
+		return
 	}
-	wg.Wait()
+	runPooled(&batch{kernel: kernel, n: n, chunk: chunk, nchunks: nchunks}, d.workers-1)
 }
 
 // Reduce computes the combination of f(0) … f(n−1) under the associative
 // operator combine, with identity as the neutral element. Each worker
 // reduces a contiguous chunk locally; partial results are combined in
-// deterministic chunk order, so the result is independent of scheduling
-// (floating-point addition is not associative, and a fixed combination
-// order keeps runs reproducible).
+// deterministic chunk order, so the result is independent of scheduling and
+// of the worker count (floating-point addition is not associative, and a
+// fixed combination order keeps runs reproducible).
 func (d *Device) Reduce(n int, identity float64, f func(i int) float64, combine func(a, b float64) float64) float64 {
 	if n <= 0 {
 		return identity
 	}
 	d.reduceLaunches.Add(1)
 
-	chunk := (n + d.workers - 1) / d.workers
-	if chunk < d.grain {
-		chunk = d.grain
-	}
-	nchunks := (n + chunk - 1) / chunk
+	chunk, nchunks := d.plan(n, d.grain)
 	if nchunks == 1 || d.workers == 1 {
 		acc := identity
 		for i := 0; i < n; i++ {
@@ -150,24 +204,13 @@ func (d *Device) Reduce(n int, identity float64, f func(i int) float64, combine 
 		return acc
 	}
 	partial := make([]float64, nchunks)
-	var wg sync.WaitGroup
-	wg.Add(nchunks)
-	for c := 0; c < nchunks; c++ {
-		lo := c * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	d.run(n, chunk, nchunks, func(lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, f(i))
 		}
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			acc := identity
-			for i := lo; i < hi; i++ {
-				acc = combine(acc, f(i))
-			}
-			partial[c] = acc
-		}(c, lo, hi)
-	}
-	wg.Wait()
+		partial[lo/chunk] = acc
+	})
 	acc := identity
 	for _, p := range partial {
 		acc = combine(acc, p)
@@ -182,10 +225,12 @@ func (d *Device) ReduceSum(n int, f func(i int) float64) float64 {
 
 // Stats is a snapshot of the launch counters of a Device.
 type Stats struct {
-	Launches       int64 // kernel launches performed
+	Launches       int64 // kernel launches performed (incl. stage-group launches)
 	ReduceLaunches int64 // reduction launches performed
 	ThreadsTotal   int64 // sum of grid sizes over all launches
-	ChunksTotal    int64 // goroutine-dispatched chunks over all launches
+	ChunksTotal    int64 // dispatched chunks over all launches
+	StageLaunches  int64 // fused stage-group launches (LaunchStages calls)
+	StagesFused    int64 // butterfly stages covered by stage-group launches
 }
 
 // Stats returns a snapshot of the device counters.
@@ -195,6 +240,8 @@ func (d *Device) Stats() Stats {
 		ReduceLaunches: d.reduceLaunches.Load(),
 		ThreadsTotal:   d.threadsTotal.Load(),
 		ChunksTotal:    d.chunksTotal.Load(),
+		StageLaunches:  d.stageLaunches.Load(),
+		StagesFused:    d.stagesFused.Load(),
 	}
 }
 
@@ -204,9 +251,15 @@ func (d *Device) ResetStats() {
 	d.threadsTotal.Store(0)
 	d.chunksTotal.Store(0)
 	d.reduceLaunches.Store(0)
+	d.stageLaunches.Store(0)
+	d.stagesFused.Store(0)
 }
 
 // String describes the device, e.g. "device(8 workers, grain 4096)".
 func (d *Device) String() string {
-	return fmt.Sprintf("device(%d workers, grain %d)", d.workers, d.grain)
+	mode := ""
+	if d.spawn {
+		mode = ", spawn dispatch"
+	}
+	return fmt.Sprintf("device(%d workers, grain %d%s)", d.workers, d.grain, mode)
 }

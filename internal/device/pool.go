@@ -1,0 +1,103 @@
+package device
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the persistent worker pool behind every Device.
+//
+// The original runtime spawned fresh goroutines for every kernel launch —
+// log₂N launches per matvec, thousands of matvecs per solve — so the
+// scheduler cost of goroutine creation was paid millions of times per run.
+// Real devices do not re-create their multiprocessors per launch; they keep
+// them parked and hand them work. The pool reproduces that: a process-wide
+// set of GOMAXPROCS long-lived workers parked on a channel, woken with one
+// pointer-sized send per launch, and a work-stealing chunk counter so load
+// balances without per-chunk goroutines.
+//
+// The submitting goroutine always participates in its own batch, so a
+// launch completes even if every pool worker is busy (or the pool channel
+// is full): in the worst case the caller runs all chunks itself. This also
+// makes nested launches deadlock-free by construction.
+
+// batch is one kernel launch in flight: a grid of nchunks contiguous chunks
+// claimed via an atomic counter by however many workers join in.
+type batch struct {
+	kernel  func(lo, hi int)
+	n       int
+	chunk   int
+	nchunks int
+	next    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// run claims and executes chunks until the batch is exhausted. It is called
+// by the submitting goroutine and by any pool worker that received the
+// batch; a worker arriving after completion returns immediately.
+func (b *batch) run() {
+	for {
+		c := int(b.next.Add(1)) - 1
+		if c >= b.nchunks {
+			return
+		}
+		lo := c * b.chunk
+		hi := lo + b.chunk
+		if hi > b.n {
+			hi = b.n
+		}
+		b.kernel(lo, hi)
+		b.wg.Done()
+	}
+}
+
+var pool struct {
+	once  sync.Once
+	tasks chan *batch
+}
+
+// poolTasks lazily starts the process-wide worker pool and returns its
+// submission channel. The pool is sized to runtime.GOMAXPROCS(0) at first
+// use — the software analogue of "all multiprocessors on the card" — and
+// lives for the remainder of the process; per-Device worker counts below
+// that merely cap how many workers are invited to a given batch.
+func poolTasks() chan *batch {
+	pool.once.Do(func() {
+		w := runtime.GOMAXPROCS(0)
+		if w < 1 {
+			w = 1
+		}
+		pool.tasks = make(chan *batch, 4*w)
+		for i := 0; i < w; i++ {
+			go func() {
+				for b := range pool.tasks {
+					b.run()
+				}
+			}()
+		}
+	})
+	return pool.tasks
+}
+
+// runPooled executes the batch on the persistent pool: up to helpers pool
+// workers are invited with non-blocking sends (a busy pool just means the
+// caller does a larger share), the caller joins the batch itself, and the
+// barrier is the batch's own WaitGroup.
+func runPooled(b *batch, helpers int) {
+	b.wg.Add(b.nchunks)
+	if helpers > b.nchunks-1 {
+		helpers = b.nchunks - 1
+	}
+	tasks := poolTasks()
+enqueue:
+	for i := 0; i < helpers; i++ {
+		select {
+		case tasks <- b:
+		default:
+			break enqueue
+		}
+	}
+	b.run()
+	b.wg.Wait()
+}

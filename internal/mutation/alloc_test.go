@@ -3,6 +3,8 @@ package mutation
 import (
 	"testing"
 
+	"repro/internal/dense"
+	"repro/internal/rng"
 	"repro/internal/vec"
 )
 
@@ -18,8 +20,49 @@ func TestFmmpApplyDoesNotAllocate(t *testing.T) {
 	if allocs := testing.AllocsPerRun(10, func() { q.Apply(v) }); allocs != 0 {
 		t.Errorf("Fmmp Apply allocates %.0f objects per call", allocs)
 	}
+	if allocs := testing.AllocsPerRun(10, func() { q.ApplyNaive(v) }); allocs != 0 {
+		t.Errorf("ApplyNaive allocates %.0f objects per call", allocs)
+	}
 	if allocs := testing.AllocsPerRun(10, func() { q.ApplyDescending(v) }); allocs != 0 {
 		t.Errorf("ApplyDescending allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestGroupedApplyDoesNotAllocate(t *testing.T) {
+	// The grouped-factor path gathers each group through Process-owned
+	// scratch; a per-apply allocation here would run nBases times per group
+	// per matvec.
+	r := rng.New(41)
+	q, err := NewGrouped([]*dense.Matrix{
+		randStochasticMatrix(r, 2),
+		randStochasticMatrix(r, 8),
+		randStochasticMatrix(r, 4),
+		randStochasticMatrix(r, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, q.Dim())
+	vec.Fill(v, 1)
+	if allocs := testing.AllocsPerRun(10, func() { q.Apply(v) }); allocs != 0 {
+		t.Errorf("grouped Apply allocates %.0f objects per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { q.ApplyNaive(v) }); allocs != 0 {
+		t.Errorf("grouped ApplyNaive allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestBlockedApplySmallTilesDoNotAllocate(t *testing.T) {
+	q := MustUniform(12, 0.01)
+	v := make([]float64, q.Dim())
+	vec.Fill(v, 1)
+	old := TileBits()
+	defer SetTileBits(old)
+	for _, tb := range []int{1, 4, 20} {
+		SetTileBits(tb)
+		if allocs := testing.AllocsPerRun(10, func() { q.Apply(v) }); allocs != 0 {
+			t.Errorf("tileBits=%d: blocked Apply allocates %.0f objects per call", tb, allocs)
+		}
 	}
 }
 
@@ -45,9 +88,23 @@ func TestApplyInverseDoesNotAllocate(t *testing.T) {
 	q := MustUniform(10, 0.01)
 	v := make([]float64, q.Dim())
 	vec.Fill(v, 1)
-	// One small allocation (the per-class scale table) is acceptable; the
-	// vector-sized work must be allocation free.
-	if allocs := testing.AllocsPerRun(10, func() { q.ApplyInverse(v) }); allocs > 1 {
+	// The inverse factors are precomputed on the Process, so the whole call
+	// must be allocation free.
+	if allocs := testing.AllocsPerRun(10, func() { q.ApplyInverse(v) }); allocs != 0 {
 		t.Errorf("ApplyInverse allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestApplyShiftInvertDoesNotAllocate(t *testing.T) {
+	q := MustUniform(10, 0.01)
+	v := make([]float64, q.Dim())
+	vec.Fill(v, 1)
+	mu := 0.5 // between the eigenvalue clusters; never equals (1−2p)^k here
+	if allocs := testing.AllocsPerRun(10, func() {
+		if err := q.ApplyShiftInvert(v, mu); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ApplyShiftInvert allocates %.0f objects per call", allocs)
 	}
 }

@@ -1,0 +1,463 @@
+package mutation
+
+import (
+	"sync/atomic"
+
+	"repro/internal/device"
+)
+
+// This file implements the cache-blocked, stage-fused form of the butterfly
+// kernels. The naive loops of Algorithm 1 walk the full vector once per
+// stage with strides up to N/2; at ν ≥ 20 every late stage is a pass over
+// tens or hundreds of megabytes, so the kernel's Θ(N·log₂N) flops hide
+// behind Θ(N·log₂N) DRAM traffic. Blocking restructures the same dataflow
+// into few passes:
+//
+//   - The first stages — all with butterfly span 2·stride ≤ B — are fused
+//     into ONE pass over contiguous B-element tiles. A tile is loaded into
+//     L1/L2 once, every small-stride stage is applied inside it, and it is
+//     written back: log₂B stages for one pass of memory traffic.
+//   - The remaining stages (stride ≥ B) are handled by a transposed-block
+//     view: the vector becomes an (N/B)×B row matrix, a stage with stride
+//     2^k pairs row r with row r ± 2^(k−log₂B), and groups of up to
+//     fuseStages consecutive stages are fused by gathering the 2^m
+//     interacting rows and sweeping them column-chunk by column-chunk, so
+//     each chunk set stays cache-resident across the whole group.
+//
+// On top of the traversal change the production kernels strength-reduce the
+// butterfly arithmetic: every mutation factor is symmetric ([[a,b],[b,a]]),
+// and for the stochastic (a+b = 1) and inverse (a−b = 1) shapes the pair
+// update needs ONE multiply instead of four:
+//
+//	d = b·(t2−t1)  ⇒  (a·t1+b·t2, b·t1+a·t2) = (t1+d, t2−d)   for a+b = 1
+//	u = b·(t1+t2)  ⇒  (a·t1+b·t2, b·t1+a·t2) = (t1+u, t2+u)   for a−b = 1
+//
+// The reduced forms are exact in real arithmetic and round differently by at
+// most a few ULPs per stage, so blocked vs naive is compared under a tight
+// tolerance (≤ 1 ULP of ‖v‖∞ per stage). Within the blocked family the
+// dataflow is deterministic and worker-independent: every butterfly output
+// depends on exactly two inputs and stages run in the same ascending order
+// per interacting group, so the device kernels are BIT-IDENTICAL to the
+// serial blocked path at every worker count — that equality is asserted
+// exactly.
+
+const (
+	// defaultTileBits selects B = 2^11 float64s = 16 KiB per tile, half of
+	// a typical 32 KiB L1d so the tile and its store buffer coexist.
+	defaultTileBits = 11
+	// fuseStages is the number of large-stride stages fused per pass: 2^3
+	// row streams at a time keeps the hardware prefetchers effective.
+	fuseStages = 3
+	// maxFuseStages bounds the stack-allocated row-pointer array of a
+	// fused cross-stage group.
+	maxFuseStages = 4
+	// minColChunk keeps the innermost column sweep long enough to
+	// amortize loop overhead even for tiny tiles.
+	minColChunk = 64
+)
+
+var tileBitsVar atomic.Int32
+
+func init() { tileBitsVar.Store(defaultTileBits) }
+
+// TileBits returns log₂ of the current kernel tile size B (in float64
+// elements). The default (11, i.e. B = 2048 elements = 16 KiB) targets a
+// 32 KiB L1d cache.
+func TileBits() int { return int(tileBitsVar.Load()) }
+
+// SetTileBits sets the kernel tile size to B = 2^bits float64 elements for
+// all subsequent blocked transforms, clamped to [1, 30]. It is a process-
+// wide tuning knob (like GOMAXPROCS); call it once at startup, not
+// concurrently with running kernels.
+func SetTileBits(bits int) {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 30 {
+		bits = 30
+	}
+	tileBitsVar.Store(int32(bits))
+}
+
+// splitStages returns the tile size B for a vector of length n and the
+// number of leading stages of fs that are tile-local: stage i acts on bit
+// off0+i with stride 2^(off0+i) and pairs elements within aligned
+// 2^(off0+i+1) blocks, so it stays inside every aligned B-tile iff
+// 2^(off0+i+1) ≤ B.
+func splitStages(n, off0, nStages, tb int) (B, nSmall int) {
+	B = 1 << uint(tb)
+	if B > n {
+		B = n
+	}
+	for nSmall < nStages && (2<<uint(off0+nSmall)) <= B {
+		nSmall++
+	}
+	return B, nSmall
+}
+
+// applyStagesBlocked applies the single-bit butterfly stages fs — fs[i]
+// acting on bit off0+i — to v in ascending stage order, using tiling for
+// the small strides and fused row-block passes for the large ones. The
+// result is bit-identical to applying the stages one full pass at a time.
+func applyStagesBlocked(v []float64, off0 int, fs []Factor2, tb, fuse int) {
+	n := len(v)
+	if n == 0 || len(fs) == 0 {
+		return
+	}
+	if fuse < 1 {
+		fuse = 1
+	}
+	if fuse > maxFuseStages {
+		fuse = maxFuseStages
+	}
+	B, nSmall := splitStages(n, off0, len(fs), tb)
+	if nSmall > 0 {
+		small := fs[:nSmall]
+		for t := 0; t < n; t += B {
+			tileStages(v[t:t+B], off0, small)
+		}
+	}
+	for s := nSmall; s < len(fs); {
+		m := len(fs) - s
+		if m > fuse {
+			m = fuse
+		}
+		crossStages(v, B, off0+s, fs[s:s+m])
+		s += m
+	}
+}
+
+// applyStagesBlockedDevice is applyStagesBlocked with each fused pass
+// dispatched as one device launch: tiles (resp. row groups) are mutually
+// independent across the whole stage group, so a single barrier per group
+// replaces the per-stage barrier of Algorithm 2.
+func applyStagesBlockedDevice(d *device.Device, v []float64, off0 int, fs []Factor2, tb, fuse int) {
+	n := len(v)
+	if n == 0 || len(fs) == 0 {
+		return
+	}
+	if fuse < 1 {
+		fuse = 1
+	}
+	if fuse > maxFuseStages {
+		fuse = maxFuseStages
+	}
+	B, nSmall := splitStages(n, off0, len(fs), tb)
+	if nSmall > 0 {
+		small := fs[:nSmall]
+		d.LaunchStages(nSmall, n/B, B, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				tileStages(v[t*B:(t+1)*B], off0, small)
+			}
+		})
+	}
+	for s := nSmall; s < len(fs); {
+		m := len(fs) - s
+		if m > fuse {
+			m = fuse
+		}
+		k0 := off0 + s
+		group := fs[s : s+m]
+		rb0 := k0 - log2(B)
+		lowMask := 1<<uint(rb0) - 1
+		nBases := (n >> uint(log2(B))) >> uint(m)
+		d.LaunchStages(m, nBases, B<<uint(m), func(lo, hi int) {
+			for bb := lo; bb < hi; bb++ {
+				base := ((bb &^ lowMask) << uint(m)) | (bb & lowMask)
+				crossGroup(v, B, base, rb0, group)
+			}
+		})
+		s += m
+	}
+}
+
+// Butterfly kinds selected per stage by factor shape; the reduced forms
+// save three of the four multiplies of the general 2×2 update.
+const (
+	kindGeneral    = iota // arbitrary [[a,b],[c,d]]
+	kindStochastic        // symmetric with a+b = 1 (mutation factors)
+	kindUnitDiff          // symmetric with a−b = 1 (inverse factors)
+)
+
+// butterflyKind classifies f. The reduced forms require the defining
+// identity to hold exactly in float64; anything else takes the general path.
+func butterflyKind(f *Factor2) int {
+	if f.C != f.B || f.D != f.A {
+		return kindGeneral
+	}
+	if f.A+f.B == 1 {
+		return kindStochastic
+	}
+	if f.A-f.B == 1 {
+		return kindUnitDiff
+	}
+	return kindGeneral
+}
+
+// tileStages applies stages fs (fs[i] on bit off0+i, all with
+// 2·stride ≤ len(tile)) inside one cache-resident tile. Consecutive stage
+// PAIRS of the same reduced kind run as one radix-4 pass: four elements are
+// loaded into registers, both stages applied, four stored — halving the
+// load/store and loop traffic of the L1-resident sweep. The per-element
+// rounding sequence is exactly that of two radix-2 passes, so the fusion is
+// bit-identical to the unfused blocked path.
+func tileStages(tile []float64, off0 int, fs []Factor2) {
+	s := 0
+	for ; s+1 < len(fs); s += 2 {
+		f1, f2 := &fs[s], &fs[s+1]
+		stride := 1 << uint(off0+s)
+		k1, k2 := butterflyKind(f1), butterflyKind(f2)
+		switch {
+		case k1 == kindStochastic && k2 == kindStochastic:
+			tilePairStochastic(tile, stride, f1.B, f2.B)
+		case k1 == kindUnitDiff && k2 == kindUnitDiff:
+			tilePairUnitDiff(tile, stride, f1.B, f2.B)
+		default:
+			tileStage(tile, stride, f1)
+			tileStage(tile, 2*stride, f2)
+		}
+	}
+	if s < len(fs) {
+		tileStage(tile, 1<<uint(off0+s), &fs[s])
+	}
+}
+
+// tileStage applies one butterfly stage with the given stride inside a tile.
+func tileStage(tile []float64, stride int, f *Factor2) {
+	switch butterflyKind(f) {
+	case kindStochastic:
+		b := f.B
+		for j := 0; j < len(tile); j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := tile[k], tile[k+stride]
+				d := b * (t2 - t1)
+				tile[k] = t1 + d
+				tile[k+stride] = t2 - d
+			}
+		}
+	case kindUnitDiff:
+		b := f.B
+		for j := 0; j < len(tile); j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := tile[k], tile[k+stride]
+				u := b * (t1 + t2)
+				tile[k] = t1 + u
+				tile[k+stride] = t2 + u
+			}
+		}
+	default:
+		a, b, c, dd := f.A, f.B, f.C, f.D
+		for j := 0; j < len(tile); j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := tile[k], tile[k+stride]
+				tile[k] = a*t1 + b*t2
+				tile[k+stride] = c*t1 + dd*t2
+			}
+		}
+	}
+}
+
+// tilePairStochastic applies two consecutive stochastic stages (strides
+// stride and 2·stride, off-diagonal entries b1 and b2) in one radix-4 pass.
+func tilePairStochastic(tile []float64, stride int, b1, b2 float64) {
+	for j := 0; j < len(tile); j += 4 * stride {
+		for k := j; k < j+stride; k++ {
+			e0, e1 := tile[k], tile[k+stride]
+			e2, e3 := tile[k+2*stride], tile[k+3*stride]
+			d := b1 * (e1 - e0)
+			e0, e1 = e0+d, e1-d
+			d = b1 * (e3 - e2)
+			e2, e3 = e2+d, e3-d
+			d = b2 * (e2 - e0)
+			e0, e2 = e0+d, e2-d
+			d = b2 * (e3 - e1)
+			e1, e3 = e1+d, e3-d
+			tile[k], tile[k+stride] = e0, e1
+			tile[k+2*stride], tile[k+3*stride] = e2, e3
+		}
+	}
+}
+
+// tilePairUnitDiff is tilePairStochastic for two unit-difference stages
+// (the inverse factors of Eq. 12).
+func tilePairUnitDiff(tile []float64, stride int, b1, b2 float64) {
+	for j := 0; j < len(tile); j += 4 * stride {
+		for k := j; k < j+stride; k++ {
+			e0, e1 := tile[k], tile[k+stride]
+			e2, e3 := tile[k+2*stride], tile[k+3*stride]
+			u := b1 * (e0 + e1)
+			e0, e1 = e0+u, e1+u
+			u = b1 * (e2 + e3)
+			e2, e3 = e2+u, e3+u
+			u = b2 * (e0 + e2)
+			e0, e2 = e0+u, e2+u
+			u = b2 * (e1 + e3)
+			e1, e3 = e1+u, e3+u
+			tile[k], tile[k+stride] = e0, e1
+			tile[k+2*stride], tile[k+3*stride] = e2, e3
+		}
+	}
+}
+
+// crossStages applies a fused group of large-stride stages — fs[i] on bit
+// k0+i with 2^k0 ≥ B — by enumerating the independent groups of 2^len(fs)
+// interacting rows of the (n/B)×B row matrix.
+func crossStages(v []float64, B, k0 int, fs []Factor2) {
+	m := len(fs)
+	rb0 := k0 - log2(B)
+	lowMask := 1<<uint(rb0) - 1
+	nBases := (len(v) >> uint(log2(B))) >> uint(m)
+	for bb := 0; bb < nBases; bb++ {
+		base := ((bb &^ lowMask) << uint(m)) | (bb & lowMask)
+		crossGroup(v, B, base, rb0, fs)
+	}
+}
+
+// crossGroup applies the fused stages to one interacting set of 2^m rows
+// (row t of the set has index baseRow | t<<rb0), sweeping column chunks so
+// the working set of the whole group stays cache-resident.
+func crossGroup(v []float64, B, baseRow, rb0 int, fs []Factor2) {
+	m := len(fs)
+	size := 1 << uint(m)
+	var rp [1 << maxFuseStages][]float64
+	for t := 0; t < size; t++ {
+		r := baseRow | t<<uint(rb0)
+		rp[t] = v[r*B : r*B+B]
+	}
+	colChunk := colChunkFor(size, B)
+	for c0 := 0; c0 < B; c0 += colChunk {
+		c1 := c0 + colChunk
+		if c1 > B {
+			c1 = B
+		}
+		// Stage pairs of the same reduced kind run radix-4 over the chunk
+		// (see tileStages); odd or mixed-kind stages fall back to radix-2.
+		s := 0
+		for ; s+1 < m; s += 2 {
+			f1, f2 := &fs[s], &fs[s+1]
+			k1, k2 := butterflyKind(f1), butterflyKind(f2)
+			bit1, bit2 := 1<<uint(s), 2<<uint(s)
+			switch {
+			case k1 == kindStochastic && k2 == kindStochastic:
+				b1, b2 := f1.B, f2.B
+				for t := 0; t < size; t++ {
+					if t&(bit1|bit2) != 0 {
+						continue
+					}
+					r0, r1 := rp[t][c0:c1], rp[t|bit1][c0:c1]
+					r2, r3 := rp[t|bit2][c0:c1], rp[t|bit1|bit2][c0:c1]
+					for i := range r0 {
+						e0, e1, e2, e3 := r0[i], r1[i], r2[i], r3[i]
+						d := b1 * (e1 - e0)
+						e0, e1 = e0+d, e1-d
+						d = b1 * (e3 - e2)
+						e2, e3 = e2+d, e3-d
+						d = b2 * (e2 - e0)
+						e0, e2 = e0+d, e2-d
+						d = b2 * (e3 - e1)
+						e1, e3 = e1+d, e3-d
+						r0[i], r1[i], r2[i], r3[i] = e0, e1, e2, e3
+					}
+				}
+			case k1 == kindUnitDiff && k2 == kindUnitDiff:
+				b1, b2 := f1.B, f2.B
+				for t := 0; t < size; t++ {
+					if t&(bit1|bit2) != 0 {
+						continue
+					}
+					r0, r1 := rp[t][c0:c1], rp[t|bit1][c0:c1]
+					r2, r3 := rp[t|bit2][c0:c1], rp[t|bit1|bit2][c0:c1]
+					for i := range r0 {
+						e0, e1, e2, e3 := r0[i], r1[i], r2[i], r3[i]
+						u := b1 * (e0 + e1)
+						e0, e1 = e0+u, e1+u
+						u = b1 * (e2 + e3)
+						e2, e3 = e2+u, e3+u
+						u = b2 * (e0 + e2)
+						e0, e2 = e0+u, e2+u
+						u = b2 * (e1 + e3)
+						e1, e3 = e1+u, e3+u
+						r0[i], r1[i], r2[i], r3[i] = e0, e1, e2, e3
+					}
+				}
+			default:
+				crossStage(rp[:size], c0, c1, s, f1)
+				crossStage(rp[:size], c0, c1, s+1, f2)
+			}
+		}
+		if s < m {
+			crossStage(rp[:size], c0, c1, s, &fs[s])
+		}
+	}
+}
+
+// crossStage applies one radix-2 stage (row bit s) over the column chunk
+// [c0, c1) of the gathered rows.
+func crossStage(rp [][]float64, c0, c1, s int, f *Factor2) {
+	bit := 1 << uint(s)
+	switch butterflyKind(f) {
+	case kindStochastic:
+		b := f.B
+		for t := 0; t < len(rp); t++ {
+			if t&bit != 0 {
+				continue
+			}
+			u, w := rp[t][c0:c1], rp[t|bit][c0:c1]
+			for i := range u {
+				t1, t2 := u[i], w[i]
+				d := b * (t2 - t1)
+				u[i] = t1 + d
+				w[i] = t2 - d
+			}
+		}
+	case kindUnitDiff:
+		b := f.B
+		for t := 0; t < len(rp); t++ {
+			if t&bit != 0 {
+				continue
+			}
+			u, w := rp[t][c0:c1], rp[t|bit][c0:c1]
+			for i := range u {
+				t1, t2 := u[i], w[i]
+				uu := b * (t1 + t2)
+				u[i] = t1 + uu
+				w[i] = t2 + uu
+			}
+		}
+	default:
+		a, b, c, dd := f.A, f.B, f.C, f.D
+		for t := 0; t < len(rp); t++ {
+			if t&bit != 0 {
+				continue
+			}
+			u, w := rp[t][c0:c1], rp[t|bit][c0:c1]
+			for i := range u {
+				t1, t2 := u[i], w[i]
+				u[i] = a*t1 + b*t2
+				w[i] = c*t1 + dd*t2
+			}
+		}
+	}
+}
+
+// colChunkFor sizes the column sweep so that size rows × chunk columns of
+// float64s stay near 32 KiB.
+func colChunkFor(size, B int) int {
+	c := 4096 / size
+	if c < minColChunk {
+		c = minColChunk
+	}
+	if c > B {
+		c = B
+	}
+	return c
+}
+
+// log2 returns log₂(n) for a power-of-two n.
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}

@@ -14,12 +14,30 @@ import (
 //
 // unrolls into log₂N butterfly stages over the vector, exactly like the
 // FFT/FWHT, giving Θ(N·log₂N) time, in-situ operation and zero matrix
-// storage.
+// storage. The production kernels are the cache-blocked, stage-fused form
+// of blocked.go; ApplyNaive keeps the literal one-pass-per-stage loop of
+// Algorithm 1 as the bit-identical reference and ablation baseline.
 
-// Apply computes v ← Q·v in place with the iterative butterfly of
-// Algorithm 1 (stage order of Eq. 9: strides ascending). It panics if
-// len(v) != 2^ν.
+// Apply computes v ← Q·v in place with the stage order of Algorithm 1
+// (Eq. 9: strides ascending), executed by the cache-blocked kernels. The
+// result is bit-identical to ApplyNaive. It panics if len(v) != 2^ν.
 func (q *Process) Apply(v []float64) {
+	q.checkDim(len(v))
+	tb := TileBits()
+	for _, s := range q.segs {
+		if s.grp < 0 {
+			applyStagesBlocked(v, s.off0, s.fs, tb, fuseStages)
+		} else {
+			q.applyGroupSerial(q.groups[s.grp], v)
+		}
+	}
+}
+
+// ApplyNaive computes v ← Q·v with the literal stage loop of Algorithm 1:
+// one full pass over the vector per butterfly stage. It is the reference
+// the blocked kernels are verified against (bit-identical) and the
+// baseline of the blocked-vs-naive benchmarks.
+func (q *Process) ApplyNaive(v []float64) {
 	q.checkDim(len(v))
 	for _, g := range q.groups {
 		q.applyGroupSerial(g, v)
@@ -74,19 +92,37 @@ func (q *Process) recurse(v []float64, level int) []float64 {
 	return out
 }
 
-// ApplyDevice computes v ← Q·v using the device-parallel kernel of
-// Algorithm 2: per stage one kernel launch with N/2 logical threads and
-// the branch-free index computation j = 2·ID − (ID & (i−1)). The host
-// stage loop is the implicit barrier between launches.
+// ApplyDevice computes v ← Q·v on the device runtime with the blocked
+// kernels: each fused stage-group is one LaunchStages dispatch (tiles and
+// row groups are independent across the whole group), so a matvec costs
+// O(log₂N / fuse) barriers instead of log₂N. With one worker it executes
+// the serial blocked path bit-identically.
 func (q *Process) ApplyDevice(d *device.Device, v []float64) {
 	q.checkDim(len(v))
+	tb := TileBits()
+	for _, s := range q.segs {
+		if s.grp < 0 {
+			applyStagesBlockedDevice(d, v, s.off0, s.fs, tb, fuseStages)
+		} else {
+			q.applyGroupDevice(d, q.groups[s.grp], v)
+		}
+	}
+}
+
+// ApplyDeviceNaive computes v ← Q·v with the literal device-parallel
+// kernel of Algorithm 2: per stage one kernel launch with N/2 logical
+// threads and the branch-free index computation j = 2·ID − (ID & (i−1)).
+// The host stage loop is the implicit barrier between launches. Kept as
+// the dispatch-cost baseline for the pool-vs-spawn benchmarks.
+func (q *Process) ApplyDeviceNaive(d *device.Device, v []float64) {
+	q.checkDim(len(v))
 	for _, g := range q.groups {
-		q.applyGroupDevice(d, g, v)
+		q.applyGroupDeviceNaive(d, g, v)
 	}
 }
 
 // applyGroupSerial applies one Kronecker factor to v on the calling
-// goroutine.
+// goroutine with one pass per stage.
 func (q *Process) applyGroupSerial(g group, v []float64) {
 	if g.bitsLen == 1 {
 		stride := 1 << uint(g.offset)
@@ -102,13 +138,14 @@ func (q *Process) applyGroupSerial(g group, v []float64) {
 		return
 	}
 	// Grouped factor (Eq. 11): dense 2^g × 2^g matvec applied across the
-	// strided gather of the group's bit positions.
+	// strided gather of the group's bit positions. The gather/scatter
+	// scratch lives on the Process so Apply stays allocation-free.
 	size := 1 << uint(g.bitsLen)
 	stride := 1 << uint(g.offset)
 	lowMask := stride - 1
 	nBases := len(v) >> uint(g.bitsLen)
-	in := make([]float64, size)
-	out := make([]float64, size)
+	in := q.grpIn[:size]
+	out := q.grpOut[:size]
 	for b := 0; b < nBases; b++ {
 		base := ((b &^ lowMask) << uint(g.bitsLen)) | (b & lowMask)
 		for s := 0; s < size; s++ {
@@ -121,21 +158,12 @@ func (q *Process) applyGroupSerial(g group, v []float64) {
 	}
 }
 
-// applyGroupDevice applies one Kronecker factor with a device kernel
-// launch over the independent logical threads of the stage.
+// applyGroupDevice applies one grouped (or single-bit) Kronecker factor
+// with a device kernel launch; single-bit factors on the blocked path
+// never reach it, but mixed processes use it for their dense groups.
 func (q *Process) applyGroupDevice(d *device.Device, g group, v []float64) {
 	if g.bitsLen == 1 {
-		stride := 1 << uint(g.offset)
-		a, b, c, dd := g.f2.A, g.f2.B, g.f2.C, g.f2.D
-		d.LaunchRange(len(v)/2, func(lo, hi int) {
-			for id := lo; id < hi; id++ {
-				// Algorithm 2, line 3: j = 2·ID − (ID & (i−1)).
-				j := 2*id - (id & (stride - 1))
-				t1, t2 := v[j], v[j+stride]
-				v[j] = a*t1 + b*t2
-				v[j+stride] = c*t1 + dd*t2
-			}
-		})
+		q.applyGroupDeviceNaive(d, g, v)
 		return
 	}
 	size := 1 << uint(g.bitsLen)
@@ -156,6 +184,26 @@ func (q *Process) applyGroupDevice(d *device.Device, g group, v []float64) {
 			}
 		}
 	})
+}
+
+// applyGroupDeviceNaive applies one Kronecker factor with one device
+// launch per stage over the independent logical threads of the stage.
+func (q *Process) applyGroupDeviceNaive(d *device.Device, g group, v []float64) {
+	if g.bitsLen == 1 {
+		stride := 1 << uint(g.offset)
+		a, b, c, dd := g.f2.A, g.f2.B, g.f2.C, g.f2.D
+		d.LaunchRange(len(v)/2, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				// Algorithm 2, line 3: j = 2·ID − (ID & (i−1)).
+				j := 2*id - (id & (stride - 1))
+				t1, t2 := v[j], v[j+stride]
+				v[j] = a*t1 + b*t2
+				v[j+stride] = c*t1 + dd*t2
+			}
+		})
+		return
+	}
+	q.applyGroupDevice(d, g, v)
 }
 
 func (q *Process) checkDim(n int) {

@@ -13,15 +13,25 @@ import (
 // eigenvector matrix V(ν) of Q(ν), the closed-form eigenvalues
 // Λ(ν)ᵢᵢ = (1−2p)^dH(i,0), the explicit inverse Q⁻¹ (Eq. 12) and the
 // Θ(N·log₂N) shift-and-invert product (Q − µI)⁻¹·v = V·(Λ−µI)⁻¹·V·v.
+// The transforms run on the cache-blocked kernels of blocked.go, with the
+// Hadamard butterfly specialized to additions; FWHTNaive keeps the
+// one-pass-per-stage loop as the bit-identical reference.
 
 // FWHT performs the unnormalized in-place fast Walsh–Hadamard transform
 // of v: v ← H(ν)·v with H(ν) = ⊗ᵢ [[1,1],[1,−1]]. len(v) must be a power
-// of two. Applying FWHT twice multiplies by N.
+// of two. Applying FWHT twice multiplies by N. The blocked execution is
+// bit-identical to FWHTNaive.
 func FWHT(v []float64) {
+	checkFWHTLen(len(v))
+	fwhtBlocked(v, TileBits(), fuseStages)
+}
+
+// FWHTNaive is the literal stage loop of the transform — one full pass
+// over the vector per stride — kept as the reference and benchmark
+// baseline for the blocked kernel.
+func FWHTNaive(v []float64) {
+	checkFWHTLen(len(v))
 	n := len(v)
-	if n&(n-1) != 0 || n == 0 {
-		panic(fmt.Sprintf("mutation: FWHT length %d is not a power of two", n))
-	}
 	for stride := 1; stride < n; stride <<= 1 {
 		for j := 0; j < n; j += 2 * stride {
 			for k := j; k < j+stride; k++ {
@@ -43,23 +53,184 @@ func FWHTNormalized(v []float64) {
 	}
 }
 
-// FWHTDevice performs the unnormalized FWHT with one device kernel launch
-// per butterfly stage (the transform shares Algorithm 2's structure).
+// FWHTDevice performs the unnormalized FWHT on the device runtime with the
+// blocked kernels — one LaunchStages dispatch per fused stage-group
+// instead of one launch per butterfly stage.
 func FWHTDevice(d *device.Device, v []float64) {
-	n := len(v)
+	checkFWHTLen(len(v))
+	fwhtBlockedDevice(d, v, TileBits(), fuseStages)
+}
+
+func checkFWHTLen(n int) {
 	if n&(n-1) != 0 || n == 0 {
 		panic(fmt.Sprintf("mutation: FWHT length %d is not a power of two", n))
 	}
-	for stride := 1; stride < n; stride <<= 1 {
-		s := stride
-		d.LaunchRange(n/2, func(lo, hi int) {
-			for id := lo; id < hi; id++ {
-				j := 2*id - (id & (s - 1))
-				t1, t2 := v[j], v[j+s]
-				v[j] = t1 + t2
-				v[j+s] = t1 - t2
+}
+
+// fwhtBlocked is the cache-blocked transform: all stages with span ≤ B
+// fused into one pass over B-element tiles, the remaining stages fused in
+// groups of ≤ fuse row-block passes (see blocked.go for the scheme).
+func fwhtBlocked(v []float64, tb, fuse int) {
+	n := len(v)
+	if n <= 1 {
+		return
+	}
+	if fuse < 1 {
+		fuse = 1
+	}
+	if fuse > maxFuseStages {
+		fuse = maxFuseStages
+	}
+	B := 1 << uint(tb)
+	if B > n {
+		B = n
+	}
+	for t := 0; t < n; t += B {
+		fwhtTile(v[t : t+B])
+	}
+	lgR := log2(n / B)
+	for s := 0; s < lgR; {
+		m := lgR - s
+		if m > fuse {
+			m = fuse
+		}
+		fwhtCross(v, B, s, m)
+		s += m
+	}
+}
+
+// fwhtBlockedDevice is fwhtBlocked with one device launch per fused pass.
+func fwhtBlockedDevice(d *device.Device, v []float64, tb, fuse int) {
+	n := len(v)
+	if n <= 1 {
+		return
+	}
+	if fuse < 1 {
+		fuse = 1
+	}
+	if fuse > maxFuseStages {
+		fuse = maxFuseStages
+	}
+	B := 1 << uint(tb)
+	if B > n {
+		B = n
+	}
+	lgB := log2(B)
+	d.LaunchStages(lgB, n/B, B, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			fwhtTile(v[t*B : (t+1)*B])
+		}
+	})
+	lgR := log2(n / B)
+	for s := 0; s < lgR; {
+		m := lgR - s
+		if m > fuse {
+			m = fuse
+		}
+		rb0 := s
+		mm := m
+		lowMask := 1<<uint(rb0) - 1
+		nBases := (n >> uint(lgB)) >> uint(mm)
+		d.LaunchStages(mm, nBases, B<<uint(mm), func(lo, hi int) {
+			for bb := lo; bb < hi; bb++ {
+				base := ((bb &^ lowMask) << uint(mm)) | (bb & lowMask)
+				fwhtCrossGroup(v, B, base, rb0, mm)
 			}
 		})
+		s += m
+	}
+}
+
+// fwhtTile applies every stage with span ≤ len(tile) inside one tile.
+// Stage pairs run radix-4 (four elements in registers per load/store sweep);
+// the per-element rounding sequence matches the radix-2 stage loop exactly.
+func fwhtTile(tile []float64) {
+	stride := 1
+	for ; 4*stride <= len(tile); stride *= 4 {
+		for j := 0; j < len(tile); j += 4 * stride {
+			for k := j; k < j+stride; k++ {
+				e0, e1 := tile[k], tile[k+stride]
+				e2, e3 := tile[k+2*stride], tile[k+3*stride]
+				e0, e1 = e0+e1, e0-e1
+				e2, e3 = e2+e3, e2-e3
+				e0, e2 = e0+e2, e0-e2
+				e1, e3 = e1+e3, e1-e3
+				tile[k], tile[k+stride] = e0, e1
+				tile[k+2*stride], tile[k+3*stride] = e2, e3
+			}
+		}
+	}
+	if stride < len(tile) {
+		for j := 0; j < len(tile); j += 2 * stride {
+			for k := j; k < j+stride; k++ {
+				t1, t2 := tile[k], tile[k+stride]
+				tile[k] = t1 + t2
+				tile[k+stride] = t1 - t2
+			}
+		}
+	}
+}
+
+// fwhtCross applies m fused row stages starting at row-bit rb0 over the
+// (n/B)×B row matrix view of v.
+func fwhtCross(v []float64, B, rb0, m int) {
+	lowMask := 1<<uint(rb0) - 1
+	nBases := (len(v) / B) >> uint(m)
+	for bb := 0; bb < nBases; bb++ {
+		base := ((bb &^ lowMask) << uint(m)) | (bb & lowMask)
+		fwhtCrossGroup(v, B, base, rb0, m)
+	}
+}
+
+// fwhtCrossGroup applies the fused Hadamard stages to one interacting set
+// of 2^m rows, sweeping cache-resident column chunks; stage pairs run
+// radix-4 like in fwhtTile.
+func fwhtCrossGroup(v []float64, B, baseRow, rb0, m int) {
+	size := 1 << uint(m)
+	var rp [1 << maxFuseStages][]float64
+	for t := 0; t < size; t++ {
+		r := baseRow | t<<uint(rb0)
+		rp[t] = v[r*B : r*B+B]
+	}
+	colChunk := colChunkFor(size, B)
+	for c0 := 0; c0 < B; c0 += colChunk {
+		c1 := c0 + colChunk
+		if c1 > B {
+			c1 = B
+		}
+		s := 0
+		for ; s+1 < m; s += 2 {
+			bit1, bit2 := 1<<uint(s), 2<<uint(s)
+			for t := 0; t < size; t++ {
+				if t&(bit1|bit2) != 0 {
+					continue
+				}
+				r0, r1 := rp[t][c0:c1], rp[t|bit1][c0:c1]
+				r2, r3 := rp[t|bit2][c0:c1], rp[t|bit1|bit2][c0:c1]
+				for i := range r0 {
+					e0, e1, e2, e3 := r0[i], r1[i], r2[i], r3[i]
+					e0, e1 = e0+e1, e0-e1
+					e2, e3 = e2+e3, e2-e3
+					e0, e2 = e0+e2, e0-e2
+					e1, e3 = e1+e3, e1-e3
+					r0[i], r1[i], r2[i], r3[i] = e0, e1, e2, e3
+				}
+			}
+		}
+		if s < m {
+			bit := 1 << uint(s)
+			for t := 0; t < size; t++ {
+				if t&bit != 0 {
+					continue
+				}
+				u, w := rp[t][c0:c1], rp[t|bit][c0:c1]
+				for i := range u {
+					t1, t2 := u[i], w[i]
+					u[i] = t1 + t2
+					w[i] = t1 - t2
+				}
+			}
+		}
 	}
 }
 
@@ -101,29 +272,37 @@ func EigenvectorEntry(nu int, i, j uint64) float64 {
 
 // ApplyInverse computes v ← Q⁻¹·v in place in Θ(N·log₂N) time using the
 // Kronecker representation of the inverse (Eq. 12):
-// Q(ν)⁻¹ = (1−2p)^(−ν) ⊗ᵢ [[1−p, −p], [−p, 1−p]].
-// Only valid for uniform processes with p < ½ (Q is singular at p = ½).
+// Q(ν)⁻¹ = (1−2p)^(−ν) ⊗ᵢ [[1−p, −p], [−p, 1−p]],
+// executed by the blocked butterfly kernels with the precomputed inverse
+// factors (allocation-free). Only valid for uniform processes with p < ½
+// (Q is singular at p = ½).
 func (q *Process) ApplyInverse(v []float64) {
 	q.requireUniform("ApplyInverse")
 	q.checkDim(len(v))
 	if q.p >= 0.5 {
 		panic("mutation: Q is singular at p = 1/2; ApplyInverse undefined")
 	}
-	a := 1 - q.p
-	b := -q.p
-	for stride := 1; stride < q.n; stride <<= 1 {
-		for j := 0; j < q.n; j += 2 * stride {
-			for k := j; k < j+stride; k++ {
-				t1, t2 := v[k], v[k+stride]
-				v[k] = a*t1 + b*t2
-				v[k+stride] = b*t1 + a*t2
-			}
-		}
-	}
+	applyStagesBlocked(v, 0, q.invFactors, TileBits(), fuseStages)
 	scale := math.Pow(1-2*q.p, -float64(q.nu))
 	for i := range v {
 		v[i] *= scale
 	}
+}
+
+// fillShiftInvertSpectrum fills q.siInv with (Λ−µI)⁻¹ per Hamming weight,
+// or reports the eigenvalue µ collides with.
+func (q *Process) fillShiftInvertSpectrum(mu float64) error {
+	base := 1 - 2*q.p
+	lam := 1.0
+	for k := 0; k <= q.nu; k++ {
+		d := lam - mu
+		if d == 0 {
+			return fmt.Errorf("mutation: shift µ = %g equals eigenvalue (1−2p)^%d", mu, k)
+		}
+		q.siInv[k] = 1 / d
+		lam *= base
+	}
+	return nil
 }
 
 // ApplyShiftInvert computes v ← (Q − µI)⁻¹·v in place in Θ(N·log₂N) time
@@ -132,21 +311,16 @@ func (q *Process) ApplyInverse(v []float64) {
 //	(Q − µI)⁻¹·v = V·(Λ − µI)⁻¹·V·v,
 //
 // where V·v is one FWHT. µ must not equal any eigenvalue (1−2p)^k.
-// Only valid for uniform processes.
+// Only valid for uniform processes. The spectrum scratch lives on the
+// Process, so the call is allocation-free (and therefore must not run
+// concurrently with itself on one Process).
 func (q *Process) ApplyShiftInvert(v []float64, mu float64) error {
 	q.requireUniform("ApplyShiftInvert")
 	q.checkDim(len(v))
-	base := 1 - 2*q.p
-	inv := make([]float64, q.nu+1)
-	lam := 1.0
-	for k := 0; k <= q.nu; k++ {
-		d := lam - mu
-		if d == 0 {
-			return fmt.Errorf("mutation: shift µ = %g equals eigenvalue (1−2p)^%d", mu, k)
-		}
-		inv[k] = 1 / d
-		lam *= base
+	if err := q.fillShiftInvertSpectrum(mu); err != nil {
+		return err
 	}
+	inv := q.siInv
 	FWHT(v)
 	scale := 1 / float64(q.n) // the two 2^(−ν/2) factors of V·…·V combined
 	for i := range v {
@@ -161,17 +335,10 @@ func (q *Process) ApplyShiftInvert(v []float64, mu float64) error {
 func (q *Process) ApplyShiftInvertDevice(d *device.Device, v []float64, mu float64) error {
 	q.requireUniform("ApplyShiftInvertDevice")
 	q.checkDim(len(v))
-	base := 1 - 2*q.p
-	inv := make([]float64, q.nu+1)
-	lam := 1.0
-	for k := 0; k <= q.nu; k++ {
-		dd := lam - mu
-		if dd == 0 {
-			return fmt.Errorf("mutation: shift µ = %g equals eigenvalue (1−2p)^%d", mu, k)
-		}
-		inv[k] = 1 / dd
-		lam *= base
+	if err := q.fillShiftInvertSpectrum(mu); err != nil {
+		return err
 	}
+	inv := q.siInv
 	FWHTDevice(d, v)
 	scale := 1 / float64(q.n)
 	d.LaunchRange(len(v), func(lo, hi int) {

@@ -119,13 +119,75 @@ type group struct {
 // Kronecker structure (Eq. 7 general case, Eq. 11 grouped case). It
 // supports exact Θ(N·log₂N) matrix–vector products without storing Q.
 //
-// A Process is immutable after construction and safe for concurrent use.
+// A Process is immutable after construction. Apply and its variants on
+// single-bit (uniform and per-site) processes are safe to run concurrently
+// on distinct vectors; processes with grouped factors, as well as
+// ApplyShiftInvert*, reuse per-Process scratch (hoisted there to keep the
+// hot paths allocation-free) and must not be applied concurrently with
+// themselves — the same contract as core.Operator.
 type Process struct {
 	nu      int
 	n       int
 	uniform bool    // all factors equal UniformFactor(p)
 	p       float64 // valid only when uniform
 	groups  []group
+
+	// segs is the execution plan of Apply: maximal runs of consecutive
+	// single-bit factors fused into blocked butterfly passes, interleaved
+	// with grouped factors in Kronecker order.
+	segs []segment
+	// grpIn/grpOut are the gather/scatter scratch of the grouped-factor
+	// path, sized to the largest group (nil without grouped factors).
+	grpIn, grpOut []float64
+	// invFactors are the ν identical Kronecker factors of Q⁻¹ (Eq. 12),
+	// precomputed so ApplyInverse is allocation-free (uniform only).
+	invFactors []Factor2
+	// siInv is the (Λ−µI)⁻¹ spectrum scratch of ApplyShiftInvert*,
+	// refilled per call (uniform only).
+	siInv []float64
+}
+
+// segment is one step of Apply's execution plan: either a fused run of
+// consecutive single-bit butterfly stages (fs != nil, first stage on bit
+// off0) or a single grouped factor (grp indexing Process.groups).
+type segment struct {
+	off0 int
+	fs   []Factor2
+	grp  int
+}
+
+// finalize derives the execution plan and scratch from q.groups; every
+// constructor calls it exactly once.
+func (q *Process) finalize() {
+	maxGroupBits := 0
+	for i := 0; i < len(q.groups); {
+		g := q.groups[i]
+		if g.bitsLen == 1 {
+			var fs []Factor2
+			for i < len(q.groups) && q.groups[i].bitsLen == 1 {
+				fs = append(fs, q.groups[i].f2)
+				i++
+			}
+			q.segs = append(q.segs, segment{off0: g.offset, fs: fs, grp: -1})
+			continue
+		}
+		if g.bitsLen > maxGroupBits {
+			maxGroupBits = g.bitsLen
+		}
+		q.segs = append(q.segs, segment{grp: i})
+		i++
+	}
+	if maxGroupBits > 0 {
+		q.grpIn = make([]float64, 1<<uint(maxGroupBits))
+		q.grpOut = make([]float64, 1<<uint(maxGroupBits))
+	}
+	if q.uniform {
+		q.invFactors = make([]Factor2, q.nu)
+		for k := range q.invFactors {
+			q.invFactors[k] = Factor2{A: 1 - q.p, B: -q.p, C: -q.p, D: 1 - q.p}
+		}
+		q.siInv = make([]float64, q.nu+1)
+	}
 }
 
 // NewUniform returns the standard quasispecies mutation process with a
@@ -141,7 +203,9 @@ func NewUniform(nu int, p float64) (*Process, error) {
 	for k := range gs {
 		gs[k] = group{offset: k, bitsLen: 1, f2: UniformFactor(p)}
 	}
-	return &Process{nu: nu, n: bits.SpaceSize(nu), uniform: true, p: p, groups: gs}, nil
+	q := &Process{nu: nu, n: bits.SpaceSize(nu), uniform: true, p: p, groups: gs}
+	q.finalize()
+	return q, nil
 }
 
 // MustUniform is NewUniform that panics on error, for tests and examples
@@ -182,7 +246,9 @@ func NewPerSite(factors []Factor2) (*Process, error) {
 			uniform = false
 		}
 	}
-	return &Process{nu: nu, n: bits.SpaceSize(nu), uniform: uniform, p: p, groups: gs}, nil
+	q := &Process{nu: nu, n: bits.SpaceSize(nu), uniform: uniform, p: p, groups: gs}
+	q.finalize()
+	return q, nil
 }
 
 // NewGrouped returns a mutation process composed of g independent groups of
@@ -224,7 +290,9 @@ func NewGrouped(factors []*dense.Matrix) (*Process, error) {
 	if offset > bits.MaxChainLen {
 		return nil, fmt.Errorf("mutation: total chain length %d out of range", offset)
 	}
-	return &Process{nu: offset, n: bits.SpaceSize(offset), groups: gs}, nil
+	q := &Process{nu: offset, n: bits.SpaceSize(offset), groups: gs}
+	q.finalize()
+	return q, nil
 }
 
 // ChainLen returns ν, the chain length.
