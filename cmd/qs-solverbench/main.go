@@ -14,9 +14,14 @@
 // product per ν (see kernels.go); -json additionally writes the table as a
 // machine-readable baseline.
 //
+// With -sweep it benchmarks the batched sweep engine instead: one
+// full-pipeline threshold sweep at -nu under serial/parallel × cold/warm
+// scheduling, with a bit-identity cross-check (see sweep.go).
+//
 //	qs-solverbench -numin 10 -numax 22 -workers 0 > fig3.tsv
 //	qs-solverbench -shift-study -nu 16
 //	qs-solverbench -kernels -numin 14 -numax 22 -json results/BENCH_kernels.json
+//	qs-solverbench -sweep -nu 18 -points 16 -workers 4 -json results/BENCH_sweep.json
 package main
 
 import (
@@ -49,7 +54,10 @@ func main() {
 		kernels    = flag.Bool("kernels", false, "run the kernel ablation (blocked vs naive, pool vs spawn) instead")
 		tile       = flag.Int("tile", 0, "log2 of the kernel tile size in float64 elements (0 = default)")
 		reps       = flag.Int("reps", 5, "repetitions per measurement for -kernels (best-of)")
-		jsonPath   = flag.String("json", "", "with -kernels: also write the results as JSON to this file")
+		jsonPath   = flag.String("json", "", "with -kernels or -sweep: also write the results as JSON to this file")
+		sweep      = flag.Bool("sweep", false, "run the batched sweep benchmark (serial/parallel × cold/warm threshold sweep) instead")
+		points     = flag.Int("points", 16, "sweep points for -sweep")
+		sweepSigma = flag.Float64("sweep-sigma", 2, "single-peak superiority f0/f1 for -sweep")
 	)
 	flag.Parse()
 	if *tile > 0 {
@@ -64,6 +72,22 @@ func main() {
 			exitOn(fmt.Errorf("invalid ν range [%d, %d]", *nuMin, *nuMax))
 		}
 		exitOn(runKernelBench(w, *nuMin, *nuMax, *workers, *reps, *p, *jsonPath))
+		return
+	}
+
+	if *sweep {
+		// -workers here is the solve-level concurrency of the batch
+		// engine, not device workers; -tol 0 selects the floating-point
+		// floor default. Sweep-point grid straddles the error threshold.
+		sweepWorkers := *workers
+		if sweepWorkers == 0 {
+			sweepWorkers = 4
+		}
+		tol := *tolExact
+		if tol == 1e-13 { // flag default: let the engine pick the floor
+			tol = 0
+		}
+		exitOn(runSweepBench(w, *nu, *points, sweepWorkers, *sweepSigma, tol, *jsonPath))
 		return
 	}
 

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+)
+
+// Sweep benchmark mode (-sweep): measures one full-pipeline threshold
+// sweep under the four variants of the batched sweep engine — serial-cold
+// (the pre-engine baseline), parallel-cold, serial-warm and parallel-warm
+// — and cross-checks that the parallel runs reproduce the serial curves
+// bit for bit. Results go to stdout as TSV; -json additionally writes the
+// machine-readable baseline (results/BENCH_sweep.json is produced this
+// way).
+
+// sweepReport is the JSON baseline document.
+type sweepReport struct {
+	GOMAXPROCS int                       `json:"gomaxprocs"`
+	Result     *harness.SweepBenchResult `json:"result"`
+}
+
+func runSweepBench(w io.Writer, nu, points, workers int, sigma, tol float64, jsonPath string) error {
+	res, err := harness.RunSweepBench(harness.SweepBenchConfig{
+		Nu: nu, Points: points, Workers: workers, Sigma: sigma, Tol: tol,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.BitIdentical {
+		return fmt.Errorf("parallel sweep deviated from serial — determinism contract broken")
+	}
+	if err := res.WriteTSV(w); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		rep := sweepReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Result: res}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

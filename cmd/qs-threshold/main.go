@@ -28,8 +28,10 @@ func main() {
 		f1     = flag.Float64("f1", 1, "base / distance-ν fitness")
 		pMin   = flag.Float64("pmin", 0.0005, "smallest error rate")
 		pMax   = flag.Float64("pmax", 0.09, "largest error rate")
-		steps  = flag.Int("steps", 180, "number of p samples")
-		locate = flag.Bool("locate", false, "bisect and print the error threshold p_max instead of sweeping")
+		steps   = flag.Int("steps", 180, "number of p samples")
+		locate  = flag.Bool("locate", false, "bisect and print the error threshold p_max instead of sweeping")
+		workers = flag.Int("workers", 1, "concurrent eigensolves (0/1 serial, -1 all cores); results are bit-identical at any count")
+		warm    = flag.Bool("warm", false, "warm-start each solve from the previous error rate's solution")
 	)
 	flag.Parse()
 
@@ -53,7 +55,8 @@ func main() {
 		ps[i] = *pMin + (*pMax-*pMin)*float64(i)/float64(*steps-1)
 	}
 	if *locate {
-		located, err := quasispecies.LocateErrorThreshold(l, *pMin, *pMax, 1e-6)
+		located, err := quasispecies.LocateErrorThresholdWith(l, *pMin, *pMax, 1e-6,
+			quasispecies.SweepOptions{Workers: *workers})
 		exitOn(err)
 		fmt.Printf("located p_max = %.6f\n", located)
 		if *land == "singlepeak" && *f0 > *f1 {
@@ -64,7 +67,8 @@ func main() {
 		return
 	}
 
-	pts, err := quasispecies.ThresholdCurve(l, ps)
+	pts, err := quasispecies.ThresholdCurveWith(l, ps,
+		quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm})
 	exitOn(err)
 
 	w := bufio.NewWriter(os.Stdout)

@@ -1,0 +1,166 @@
+// Package batch schedules many independent eigensolves over a bounded set
+// of worker goroutines. The workloads the paper actually reports — the
+// Figure 1 error-threshold curves, threshold bisection, speedup and
+// accuracy scans — are sweeps of tens to hundreds of eigensolves that are
+// mutually independent, so solve-level parallelism composes with the
+// kernel-level parallelism of internal/device: one shared device serves
+// the BLAS kernels while the scheduler here keeps several power
+// iterations in flight.
+//
+// Design constraints, in order:
+//
+//   - Deterministic results. Tasks are identified by their index; every
+//     task writes into its own caller-owned result slot, so the output
+//     order never depends on scheduling. Combined with the worker-count
+//     invariance of the blocked kernels (see internal/mutation), a sweep
+//     is bit-identical at every worker count.
+//   - Bounded memory. At most `workers` tasks are in flight, and each
+//     in-flight task borrows a Slot of reusable scratch vectors, so a
+//     500-point sweep allocates the scratch of `workers` solves, not 500.
+//   - Warm-start friendliness. Continuation along a monotone sweep is
+//     inherently sequential, so the unit of scheduling for warm-started
+//     sweeps is a fixed-length chain of consecutive points (see Chains);
+//     the chain length is independent of the worker count, which keeps
+//     warm-started results worker-count invariant too.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultChainLen is the number of consecutive sweep points per warm-start
+// chain when the caller does not choose one. Within a chain, point k seeds
+// the solve of point k+1; across chains solves are independent, which is
+// what the scheduler parallelizes. Eight points per chain keeps most solves
+// warm while still exposing parallelism on ≥ 16-point sweeps.
+const DefaultChainLen = 8
+
+// Workers normalizes a requested worker count: n ≤ 0 selects all available
+// cores (the solver convention shared with device.New), anything else is
+// returned as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Slot is the reusable per-worker scratch of a batched run. Each of the
+// `workers` goroutines owns one Slot for the whole run and hands it to
+// every task it executes, so tasks can keep Θ(N) vectors (power-iteration
+// iterates, warm-start seeds) alive across the tasks of one worker without
+// re-allocating per task.
+type Slot struct {
+	id   int
+	bufs map[int][]float64
+}
+
+// ID returns the slot's index in [0, workers).
+func (s *Slot) ID() int { return s.id }
+
+// Vec returns the slot-owned float64 buffer with the given key, sized to
+// n. The buffer is reused across tasks (contents are arbitrary on entry);
+// it is grown or reshaped only when n changes.
+func (s *Slot) Vec(key, n int) []float64 {
+	if s.bufs == nil {
+		s.bufs = make(map[int][]float64)
+	}
+	b := s.bufs[key]
+	if len(b) != n {
+		b = make([]float64, n)
+		s.bufs[key] = b
+	}
+	return b
+}
+
+// Run executes task(i, slot) for every i in [0, n) over min(workers, n)
+// goroutines. Tasks are claimed from a shared queue in index order; each
+// goroutine reuses one Slot for all tasks it executes. Run returns after
+// every launched task finished. If tasks fail, the error of the
+// lowest-indexed failing task is returned (deterministic regardless of
+// scheduling); remaining queued tasks are still executed, so the caller's
+// result slice is fully populated for the indices that succeeded.
+func Run(n, workers int, task func(i int, s *Slot) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, no synchronization — the
+		// reference execution the parallel path is tested against.
+		s := &Slot{id: 0}
+		var firstErr error
+		firstIdx := n
+		for i := 0; i < n; i++ {
+			if err := task(i, s); err != nil && i < firstIdx {
+				firstErr, firstIdx = fmt.Errorf("batch: task %d: %w", i, err), i
+			}
+		}
+		return firstErr
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+		firstIdx = n
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(slot *Slot) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := task(i, slot); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstErr, firstIdx = fmt.Errorf("batch: task %d: %w", i, err), i
+					}
+					mu.Unlock()
+				}
+			}
+		}(&Slot{id: w})
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Chain is one contiguous run of sweep points, [Lo, Hi), processed
+// sequentially by a single task so each point can seed the next
+// (warm-start continuation).
+type Chain struct{ Lo, Hi int }
+
+// Chains partitions [0, n) into contiguous chains of chainLen points
+// (the last chain may be shorter). chainLen ≤ 0 selects DefaultChainLen.
+// The partition depends only on n and chainLen — never on the worker
+// count — so scheduling chains in parallel yields results bit-identical
+// to processing them serially.
+func Chains(n, chainLen int) []Chain {
+	if n <= 0 {
+		return nil
+	}
+	if chainLen <= 0 {
+		chainLen = DefaultChainLen
+	}
+	out := make([]Chain, 0, (n+chainLen-1)/chainLen)
+	for lo := 0; lo < n; lo += chainLen {
+		hi := lo + chainLen
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Chain{Lo: lo, Hi: hi})
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package batch
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 53
+		counts := make([]atomic.Int32, n)
+		err := Run(n, workers, func(i int, s *Slot) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: task %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicResultOrdering(t *testing.T) {
+	// Results written by index must be independent of scheduling.
+	const n = 40
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := make([]int, n)
+		if err := Run(n, workers, func(i int, s *Slot) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Run(20, workers, func(i int, s *Slot) error {
+			if i == 7 || i == 13 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "task 7") {
+			t.Errorf("workers=%d: want the lowest-indexed failure reported, got %v", workers, err)
+		}
+	}
+}
+
+func TestRunBoundsSlots(t *testing.T) {
+	// At most `workers` distinct slots may ever be observed.
+	const n, workers = 64, 3
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := Run(n, workers, func(i int, s *Slot) error {
+		mu.Lock()
+		seen[s.ID()] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) > workers {
+		t.Errorf("observed %d slots, want ≤ %d", len(seen), workers)
+	}
+}
+
+func TestSlotVecReuse(t *testing.T) {
+	s := &Slot{}
+	a := s.Vec(0, 100)
+	b := s.Vec(0, 100)
+	if &a[0] != &b[0] {
+		t.Error("same key and size must return the same buffer")
+	}
+	c := s.Vec(1, 100)
+	if &a[0] == &c[0] {
+		t.Error("distinct keys must return distinct buffers")
+	}
+	d := s.Vec(0, 50)
+	if len(d) != 50 {
+		t.Errorf("resized buffer has length %d", len(d))
+	}
+}
+
+func TestChainsPartition(t *testing.T) {
+	cs := Chains(19, 8)
+	if len(cs) != 3 || cs[0] != (Chain{0, 8}) || cs[1] != (Chain{8, 16}) || cs[2] != (Chain{16, 19}) {
+		t.Errorf("chains = %v", cs)
+	}
+	if got := Chains(0, 8); got != nil {
+		t.Errorf("empty range gave %v", got)
+	}
+	// Default chain length kicks in for chainLen <= 0.
+	if cs := Chains(DefaultChainLen+1, 0); len(cs) != 2 {
+		t.Errorf("default chain split = %v", cs)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("non-positive count must select at least one worker")
+	}
+}

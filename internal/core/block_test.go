@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+func testVectors(seed uint64, k, n int) [][]float64 {
+	r := rng.New(seed)
+	vs := make([][]float64, k)
+	for j := range vs {
+		vs[j] = make([]float64, n)
+		for i := range vs[j] {
+			vs[j][i] = r.Float64() + 0.1
+		}
+	}
+	return vs
+}
+
+func TestFmmpApplyBatchBitIdenticalToApply(t *testing.T) {
+	const nu = 9
+	q := mutation.MustUniform(nu, 0.015)
+	l := randLandscape(rng.New(3), nu)
+	for _, form := range []Formulation{Right, Symmetric, Left} {
+		op, err := NewFmmpOperator(q, l, form, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := testVectors(uint64(form)+5, 4, op.Dim())
+		want := make([][]float64, len(src))
+		for j := range src {
+			want[j] = make([]float64, op.Dim())
+			op.Apply(want[j], src[j])
+		}
+		// Out-of-place batch.
+		dst := make([][]float64, len(src))
+		for j := range dst {
+			dst[j] = make([]float64, op.Dim())
+		}
+		op.ApplyBatch(dst, src)
+		for j := range dst {
+			for i := range dst[j] {
+				if dst[j][i] != want[j][i] {
+					t.Fatalf("form %d: vector %d entry %d: batch %v vs apply %v",
+						form, j, i, dst[j][i], want[j][i])
+				}
+			}
+		}
+		// In-place batch (dst[j] aliases src[j]).
+		op.ApplyBatch(src, src)
+		for j := range src {
+			for i := range src[j] {
+				if src[j][i] != want[j][i] {
+					t.Fatalf("form %d: in-place vector %d entry %d deviates", form, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFmmpApplyBatchDeviceBitIdentical(t *testing.T) {
+	const nu = 8
+	q := mutation.MustUniform(nu, 0.02)
+	l := randLandscape(rng.New(4), nu)
+	serialOp, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	src := testVectors(9, 3, serialOp.Dim())
+	want := make([][]float64, len(src))
+	for j := range src {
+		want[j] = vec.Clone(src[j])
+	}
+	serialOp.ApplyBatch(want, want)
+	for _, workers := range []int{1, 2, 4} {
+		d := device.New(workers, device.WithGrain(32))
+		devOp, _ := NewFmmpOperator(q, l, Symmetric, d)
+		got := make([][]float64, len(src))
+		for j := range src {
+			got[j] = vec.Clone(src[j])
+		}
+		devOp.ApplyBatch(got, got)
+		for j := range got {
+			for i := range got[j] {
+				if got[j][i] != want[j][i] {
+					t.Fatalf("workers=%d: vector %d entry %d deviates from serial", workers, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchResidualsMatchesPerPair(t *testing.T) {
+	const nu = 7
+	q := mutation.MustUniform(nu, 0.01)
+	l := randLandscape(rng.New(5), nu)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+
+	first, err := PowerIteration(op, PowerOptions{Tol: 1e-12, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := SecondEigenpair(op, first.Vector, PowerOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := []float64{first.Lambda, second.Lambda}
+	xs := [][]float64{first.Vector, second.Vector}
+	res, err := BatchResiduals(op, lambdas, xs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, op.Dim())
+	for j := range xs {
+		op.Apply(w, xs[j])
+		var s float64
+		for i := range w {
+			r := w[i] - lambdas[j]*xs[j][i]
+			s += r * r
+		}
+		if want := math.Sqrt(s); res[j] != want {
+			t.Errorf("pair %d: batch residual %g, per-pair %g", j, res[j], want)
+		}
+		if res[j] > 1e-9 {
+			t.Errorf("pair %d: residual %g unexpectedly large", j, res[j])
+		}
+	}
+
+	// Scratch reuse path must agree and must reject short scratch.
+	scratch := [][]float64{make([]float64, op.Dim()), make([]float64, op.Dim())}
+	res2, err := BatchResiduals(op, lambdas, xs, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res {
+		if res[j] != res2[j] {
+			t.Errorf("pair %d: scratch path residual differs", j)
+		}
+	}
+	if _, err := BatchResiduals(op, lambdas, xs, scratch[:1]); err == nil {
+		t.Error("short scratch must be rejected")
+	}
+	if _, err := BatchResiduals(op, lambdas[:1], xs, nil); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}
+
+func TestBlockPowerMatchesDenseSpectrum(t *testing.T) {
+	const nu = 7
+	const k = 3
+	q := mutation.MustUniform(nu, 0.02)
+	l := randLandscape(rng.New(6), nu)
+	vals := denseSpectrum(t, q, l)
+
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	res, err := BlockPowerIteration(op, k, PowerOptions{Tol: 1e-10, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("block iteration did not converge")
+	}
+	for j := 0; j < k; j++ {
+		if math.Abs(res.Lambdas[j]-vals[j]) > 1e-7 {
+			t.Errorf("λ_%d = %.12g, dense %.12g", j, res.Lambdas[j], vals[j])
+		}
+	}
+	// The basis must be orthonormal.
+	for a := 0; a < k; a++ {
+		for b := 0; b <= a; b++ {
+			d := vec.Dot(res.Vectors[a], res.Vectors[b])
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-8 {
+				t.Errorf("XᵀX[%d][%d] = %g, want %g", a, b, d, want)
+			}
+		}
+	}
+}
+
+func TestBlockPowerWidthOneMatchesPowerIteration(t *testing.T) {
+	const nu = 6
+	q := mutation.MustUniform(nu, 0.03)
+	l := randLandscape(rng.New(7), nu)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	single, err := PowerIteration(op, PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := BlockPowerIteration(op, 1, PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(block.Lambdas[0]-single.Lambda) > 1e-10 {
+		t.Errorf("block λ₀ = %.15g, power λ₀ = %.15g", block.Lambdas[0], single.Lambda)
+	}
+	var dot float64
+	for i := range single.Vector {
+		dot += single.Vector[i] * block.Vectors[0][i]
+	}
+	if math.Abs(math.Abs(dot)-1) > 1e-9 {
+		t.Errorf("|x₀ᵀx₀| = %g, want 1", math.Abs(dot))
+	}
+}
+
+func TestBlockPowerValidation(t *testing.T) {
+	q := mutation.MustUniform(4, 0.05)
+	l, _ := landscape.NewUniform(4, 1)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+	if _, err := BlockPowerIteration(op, 0, PowerOptions{}); err == nil {
+		t.Error("width 0 must be rejected")
+	}
+	if _, err := BlockPowerIteration(op, op.Dim()+1, PowerOptions{}); err == nil {
+		t.Error("width > n must be rejected")
+	}
+	if _, err := BlockPowerIteration(op, 2, PowerOptions{Start: make([]float64, 3)}); err == nil {
+		t.Error("wrong start length must be rejected")
+	}
+}
+
+func TestPowerWorkReuseAndWarmStartAlias(t *testing.T) {
+	const nu = 7
+	q := mutation.MustUniform(nu, 0.012)
+	l := randLandscape(rng.New(8), nu)
+	op, _ := NewFmmpOperator(q, l, Symmetric, nil)
+
+	cold, err := PowerIteration(op, PowerOptions{Tol: 1e-11, Start: FitnessStart(l)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := NewPowerWork(op.Dim())
+	first, err := PowerIteration(op, PowerOptions{Tol: 1e-11, Start: FitnessStart(l), Work: work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first.Vector[0] != &work.x[0] {
+		t.Fatal("result vector must alias the scratch iterate")
+	}
+	for i := range cold.Vector {
+		if first.Vector[i] != cold.Vector[i] {
+			t.Fatal("scratch-backed solve deviates from allocating solve")
+		}
+	}
+
+	// Warm start where Start aliases the scratch iterate itself — the
+	// continuation pattern of the sweep engine.
+	warm, err := PowerIteration(op, PowerOptions{Tol: 1e-11, Start: first.Vector, Work: work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Lambda-cold.Lambda) > 1e-10 {
+		t.Errorf("warm λ = %.15g, cold λ = %.15g", warm.Lambda, cold.Lambda)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm restart took %d iterations, cold took %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWithProcessSharesLandscape(t *testing.T) {
+	const nu = 6
+	l := randLandscape(rng.New(9), nu)
+	q1 := mutation.MustUniform(nu, 0.01)
+	q2 := mutation.MustUniform(nu, 0.02)
+	op1, err := NewFmmpOperator(q1, l, Symmetric, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := op1.WithProcess(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewFmmpOperator(q2, l, Symmetric, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testVectors(10, 1, op2.Dim())[0]
+	got := make([]float64, op2.Dim())
+	ref := make([]float64, op2.Dim())
+	op2.Apply(got, x)
+	want.Apply(ref, x)
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("entry %d: WithProcess operator deviates", i)
+		}
+	}
+	if _, err := op1.WithProcess(mutation.MustUniform(nu+1, 0.01)); err == nil {
+		t.Error("chain-length mismatch must be rejected")
+	}
+}

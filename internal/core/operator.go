@@ -92,6 +92,18 @@ func NewFmmpOperator(q *mutation.Process, f landscape.Landscape, form Formulatio
 	return op, nil
 }
 
+// WithProcess returns a new operator driving the same landscape diagonal
+// through a different mutation process of equal chain length — the
+// per-point operator of an error-rate sweep. The Θ(N) materialized
+// diagonal (and √F for the symmetric form) is shared with op, so building
+// the operator for the next sweep point is Θ(1).
+func (op *FmmpOperator) WithProcess(q *mutation.Process) (*FmmpOperator, error) {
+	if q.ChainLen() != op.F.ChainLen() {
+		return nil, fmt.Errorf("core: mutation ν = %d but landscape ν = %d", q.ChainLen(), op.F.ChainLen())
+	}
+	return &FmmpOperator{Q: q, F: op.F, Form: op.Form, Dev: op.Dev, fdiag: op.fdiag, fsqrt: op.fsqrt}, nil
+}
+
 func (op *FmmpOperator) Dim() int { return op.Q.Dim() }
 
 // Apply computes dst ← W·src per the selected formulation.

@@ -55,6 +55,36 @@ type PowerOptions struct {
 	// Monitor, when non-nil, receives (iteration, λ̃, residual) after each
 	// residual check. Returning false aborts with ErrNoConvergence.
 	Monitor func(iter int, lambda, residual float64) bool
+	// Work, when non-nil, supplies reusable iterate/product scratch so
+	// repeated solves of the same dimension (sweeps, batched runs)
+	// allocate nothing per solve. The returned PowerResult.Vector aliases
+	// the scratch iterate — copy out whatever must survive the next solve
+	// that reuses the same Work. Start may alias the scratch iterate
+	// (the warm-start continuation pattern) but not the product vector.
+	Work *PowerWork
+}
+
+// PowerWork is the reusable scratch of a power iteration: the iterate and
+// the operator-product vector. Allocate once per solve slot with
+// NewPowerWork and pass through PowerOptions.Work.
+type PowerWork struct {
+	x, w []float64
+}
+
+// NewPowerWork returns scratch for dimension-n solves.
+func NewPowerWork(n int) *PowerWork {
+	return &PowerWork{x: make([]float64, n), w: make([]float64, n)}
+}
+
+// vectors returns the iterate and product buffers, (re)sized to n.
+func (pw *PowerWork) vectors(n int) (x, w []float64) {
+	if len(pw.x) != n {
+		pw.x = make([]float64, n)
+	}
+	if len(pw.w) != n {
+		pw.w = make([]float64, n)
+	}
+	return pw.x, pw.w
 }
 
 // PowerResult is the outcome of a power iteration.
@@ -100,12 +130,18 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 	mu := opts.Shift
 	dev := opts.Dev
 
-	x := make([]float64, n)
+	var x, w []float64
+	if opts.Work != nil {
+		x, w = opts.Work.vectors(n)
+	} else {
+		x = make([]float64, n)
+		w = make([]float64, n)
+	}
 	if opts.Start != nil {
 		if len(opts.Start) != n {
 			return PowerResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
 		}
-		copy(x, opts.Start)
+		copy(x, opts.Start) // self-copy when Start aliases the scratch iterate
 	} else {
 		vec.Fill(x, 1)
 	}
@@ -114,8 +150,6 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 		return PowerResult{}, errors.New("core: start vector is zero")
 	}
 	scale(dev, x, 1/nrm)
-
-	w := make([]float64, n)
 	res := PowerResult{Vector: x}
 	bestResidual := math.Inf(1)
 	stalled := 0

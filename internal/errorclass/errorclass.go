@@ -164,11 +164,25 @@ type Result struct {
 // reaches 10^299 at ν = 1000 and would otherwise drown the true tail of
 // the distribution.
 func (r *Reduction) Solve() (*Result, error) {
+	return r.SolveFrom(nil)
+}
+
+// SolveFrom is Solve seeded with a starting guess in Γ space — typically
+// the Gamma vector of a neighboring error rate's solution. Because the
+// iteration runs on M = QΓᵀ·diag(ϕ) whose dominant eigenvector IS the
+// class-total distribution, a previous point's Gamma is exactly the right
+// warm start for a monotone p-sweep; the batched sweep engine uses it for
+// its continuation chains. A nil start falls back to the uniform vector.
+func (r *Reduction) SolveFrom(start []float64) (*Result, error) {
 	n := r.nu + 1
 	m := r.qGamma.Transpose()
 	m.ScaleColumns(r.phi)
-	start := make([]float64, n)
-	vec.Fill(start, 1/float64(n))
+	if start == nil {
+		start = make([]float64, n)
+		vec.Fill(start, 1/float64(n))
+	} else if len(start) != n {
+		return nil, fmt.Errorf("errorclass: start vector length %d, want %d", len(start), n)
+	}
 	lam, u, iters, err := dense.Dominant(m, &dense.DominantOptions{
 		Tol: 1e-14, MaxIter: 5000000, Start: start,
 	})

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
-	"repro/internal/errorclass"
 	"repro/internal/landscape"
 	"repro/internal/mutation"
 	"repro/internal/vec"
@@ -26,60 +25,21 @@ type ThresholdPoint struct {
 // ThresholdSweep computes the Figure 1 curves for a class-based landscape:
 // for each error rate the dominant eigenvector is computed and accumulated
 // into the error classes. The exact Section 5.1 reduction is used, which
-// the reproduction tests verify against the full Pi(Fmmp) solve.
+// the reproduction tests verify against the full Pi(Fmmp) solve. It is
+// the serial-cold form of ThresholdSweepOpts (see sweep.go).
 func ThresholdSweep(l landscape.Landscape, ps []float64) ([]ThresholdPoint, error) {
-	phi, ok := landscape.ClassBased(l)
-	if !ok {
-		return nil, fmt.Errorf("harness: threshold sweep needs a class-based landscape, got %T", l)
-	}
-	out := make([]ThresholdPoint, 0, len(ps))
-	for _, p := range ps {
-		red, err := errorclass.New(phi, p)
-		if err != nil {
-			return nil, err
-		}
-		res, err := red.Solve()
-		if err != nil {
-			return nil, fmt.Errorf("harness: p = %g: %w", p, err)
-		}
-		out = append(out, ThresholdPoint{P: p, Gamma: res.Gamma})
-	}
-	return out, nil
+	out, _, err := ThresholdSweepOpts(l, ps, SweepOptions{Workers: 1})
+	return out, err
 }
 
 // ThresholdSweepFull is ThresholdSweep through the full 2^ν Pi(Fmmp)
-// pipeline — usable for any landscape, at Θ(N) memory per solve.
+// pipeline — usable for any landscape, at Θ(N) memory per solve. It is
+// the serial-cold form of ThresholdSweepFullOpts; the tolerance is
+// core.DefaultTolerance(l), the attainable floating-point floor of the
+// landscape, rather than a fixed constant.
 func ThresholdSweepFull(q *mutation.Process, l landscape.Landscape, ps []float64, dev *device.Device) ([]ThresholdPoint, error) {
-	out := make([]ThresholdPoint, 0, len(ps))
-	for _, p := range ps {
-		qp, err := mutation.NewUniform(q.ChainLen(), p)
-		if err != nil {
-			return nil, err
-		}
-		op, err := core.NewFmmpOperator(qp, l, core.Right, dev)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.PowerIteration(op, core.PowerOptions{
-			Tol:   1e-12,
-			Start: core.FitnessStart(l),
-			Shift: core.ConservativeShift(qp, l),
-			Dev:   dev,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("harness: p = %g: %w", p, err)
-		}
-		x := res.Vector
-		if err := core.Concentrations(x); err != nil {
-			return nil, err
-		}
-		gamma, err := core.ClassConcentrations(l.ChainLen(), x)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ThresholdPoint{P: p, Gamma: gamma})
-	}
-	return out, nil
+	out, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: 1, Dev: dev})
+	return out, err
 }
 
 // ---------------------------------------------------------------------------

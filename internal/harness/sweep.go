@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/errorclass"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+// This file is the batched sweep engine: the Figure 1 error-rate sweeps
+// and the threshold search re-expressed over the internal/batch work-queue
+// scheduler, with warm-start continuation along monotone p-chains and
+// per-slot scratch reuse.
+//
+// Determinism contract: the sweep is partitioned into fixed-length
+// continuation chains (batch.Chains) whose layout depends only on the
+// point count — never on the worker count. Each chain is one schedulable
+// task whose points run in order; within a chain the warm start for point
+// i is exactly the converged vector of point i−1. Because the per-point
+// arithmetic (operator, start, tolerance, shift) is thereby independent of
+// scheduling, a sweep's results are bit-identical at every worker count.
+
+// SweepOptions configures the batched sweep engine.
+type SweepOptions struct {
+	// Workers is the number of concurrent solves; ≤ 0 selects
+	// GOMAXPROCS. Results are bit-identical at every worker count.
+	Workers int
+	// WarmStart seeds each point (after the first of its chain) with the
+	// previous point's converged eigenvector instead of a cold start.
+	WarmStart bool
+	// ChainLen is the number of consecutive points per warm-start chain
+	// (the scheduling granule); ≤ 0 selects batch.DefaultChainLen. The
+	// chain layout is what keeps results independent of Workers.
+	ChainLen int
+	// Tol is the residual tolerance for the full-space solves; ≤ 0
+	// selects core.DefaultTolerance for the landscape.
+	Tol float64
+	// MaxIter caps iterations per solve (0 = solver default).
+	MaxIter int
+	// Dev is the shared device runtime for the full-space solves; one
+	// Device serves all workers (concurrent launches are pooled). Nil
+	// runs each solve serially.
+	Dev *device.Device
+}
+
+// SweepStats instruments one sweep run.
+type SweepStats struct {
+	// Iterations[i] is the solver iteration count at point i.
+	Iterations []int
+	// Warm[i] reports whether point i was warm-started.
+	Warm []bool
+	// Chains is the number of continuation chains the sweep was split into.
+	Chains int
+}
+
+// TotalIterations sums the per-point iteration counts.
+func (s *SweepStats) TotalIterations() int {
+	t := 0
+	for _, it := range s.Iterations {
+		t += it
+	}
+	return t
+}
+
+// WarmPoints counts the warm-started points.
+func (s *SweepStats) WarmPoints() int {
+	n := 0
+	for _, w := range s.Warm {
+		if w {
+			n++
+		}
+	}
+	return n
+}
+
+// ThresholdSweepOpts is ThresholdSweep on the batch engine: the reduced
+// Section 5.1 solves of a Figure 1 sweep scheduled over opts.Workers
+// concurrent slots, with warm-start continuation along each chain (the
+// reduced iteration runs on M = QΓᵀ·diag(ϕ), so a neighbor's Gamma vector
+// is the exact warm start).
+func ThresholdSweepOpts(l landscape.Landscape, ps []float64, opts SweepOptions) ([]ThresholdPoint, *SweepStats, error) {
+	phi, ok := landscape.ClassBased(l)
+	if !ok {
+		return nil, nil, fmt.Errorf("harness: threshold sweep needs a class-based landscape, got %T", l)
+	}
+	out := make([]ThresholdPoint, len(ps))
+	stats := &SweepStats{Iterations: make([]int, len(ps)), Warm: make([]bool, len(ps))}
+	chains := batch.Chains(len(ps), opts.ChainLen)
+	stats.Chains = len(chains)
+	err := batch.Run(len(chains), opts.Workers, func(ci int, _ *batch.Slot) error {
+		var prev []float64
+		for i := chains[ci].Lo; i < chains[ci].Hi; i++ {
+			red, err := errorclass.New(phi, ps[i])
+			if err != nil {
+				return err
+			}
+			var start []float64
+			if opts.WarmStart && prev != nil {
+				start = prev
+				stats.Warm[i] = true
+			}
+			res, err := red.SolveFrom(start)
+			if err != nil {
+				return fmt.Errorf("p = %g: %w", ps[i], err)
+			}
+			out[i] = ThresholdPoint{P: ps[i], Gamma: res.Gamma}
+			stats.Iterations[i] = res.Iterations
+			prev = res.Gamma
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %w", err)
+	}
+	return out, stats, nil
+}
+
+// ThresholdSweepFullOpts is ThresholdSweepFull on the batch engine: full
+// 2^ν Pi(Fmmp) solves scheduled over opts.Workers slots. Each slot owns
+// one reusable core.PowerWork, so memory stays at Workers·Θ(N) however
+// long the sweep; each point's operator shares the landscape diagonals of
+// a base operator (FmmpOperator.WithProcess) and, within a chain, is
+// warm-started from the previous point's eigenvector held in the slot
+// scratch.
+func ThresholdSweepFullOpts(q *mutation.Process, l landscape.Landscape, ps []float64, opts SweepOptions) ([]ThresholdPoint, *SweepStats, error) {
+	baseOp, err := core.NewFmmpOperator(q, l, core.Right, opts.Dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = core.DefaultTolerance(l)
+	}
+	cold := core.FitnessStart(l) // shared read-only across slots
+	workers := batch.Workers(opts.Workers)
+	works := make([]*core.PowerWork, workers)
+
+	out := make([]ThresholdPoint, len(ps))
+	stats := &SweepStats{Iterations: make([]int, len(ps)), Warm: make([]bool, len(ps))}
+	chains := batch.Chains(len(ps), opts.ChainLen)
+	stats.Chains = len(chains)
+	err = batch.Run(len(chains), opts.Workers, func(ci int, s *batch.Slot) error {
+		work := works[s.ID()]
+		if work == nil {
+			work = core.NewPowerWork(q.Dim())
+			works[s.ID()] = work
+		}
+		var prev []float64
+		for i := chains[ci].Lo; i < chains[ci].Hi; i++ {
+			p := ps[i]
+			qp, err := mutation.NewUniform(q.ChainLen(), p)
+			if err != nil {
+				return err
+			}
+			op, err := baseOp.WithProcess(qp)
+			if err != nil {
+				return err
+			}
+			start := cold
+			if opts.WarmStart && prev != nil {
+				start = prev // aliases the slot scratch; PowerIteration self-copies
+				stats.Warm[i] = true
+			}
+			res, err := core.PowerIteration(op, core.PowerOptions{
+				Tol:     tol,
+				MaxIter: opts.MaxIter,
+				Start:   start,
+				Shift:   core.ConservativeShift(qp, l),
+				Dev:     opts.Dev,
+				Work:    work,
+			})
+			if err != nil {
+				return fmt.Errorf("p = %g: %w", p, err)
+			}
+			stats.Iterations[i] = res.Iterations
+			// res.Vector aliases work.x; normalizing it to concentrations
+			// in place keeps its direction, so it stays a valid warm start.
+			x := res.Vector
+			if err := core.Concentrations(x); err != nil {
+				return err
+			}
+			gamma, err := core.ClassConcentrations(l.ChainLen(), x)
+			if err != nil {
+				return err
+			}
+			out[i] = ThresholdPoint{P: p, Gamma: gamma}
+			prev = x
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %w", err)
+	}
+	return out, stats, nil
+}
+
+// LocateThresholdOpts locates p_max like LocateThreshold but evaluates
+// opts.Workers interior points of the bracket concurrently per round
+// (k-section search): each round shrinks the bracket by a factor k+1
+// instead of 2, so the round count drops from log₂(Δ/tol) to
+// log_{k+1}(Δ/tol) while every round costs one parallel batch of reduced
+// solves. Workers ≤ 1 reproduces plain bisection exactly.
+func LocateThresholdOpts(l landscape.Landscape, lo, hi, tol float64, opts SweepOptions) (float64, error) {
+	phi, ok := landscape.ClassBased(l)
+	if !ok {
+		return 0, fmt.Errorf("harness: threshold location needs a class-based landscape, got %T", l)
+	}
+	if !(lo > 0 && hi > lo && hi <= 0.5) {
+		return 0, fmt.Errorf("harness: invalid bracket [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	k := opts.Workers
+	if k <= 0 {
+		k = batch.Workers(0)
+	}
+	nu := len(phi) - 1
+	uniformShare := math.Pow(2, -float64(nu))
+	ordered := func(p float64) (bool, error) {
+		red, err := errorclass.New(phi, p)
+		if err != nil {
+			return false, err
+		}
+		res, err := red.Solve()
+		if err != nil {
+			return false, err
+		}
+		return res.Gamma[0] > 100*uniformShare, nil
+	}
+	oLo, err := ordered(lo)
+	if err != nil {
+		return 0, err
+	}
+	oHi, err := ordered(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !oLo {
+		return 0, fmt.Errorf("harness: lower bracket p = %g is already disordered", lo)
+	}
+	if oHi {
+		return 0, fmt.Errorf("harness: upper bracket p = %g is still ordered", hi)
+	}
+	mids := make([]float64, k)
+	states := make([]bool, k)
+	for hi-lo > tol {
+		h := (hi - lo) / float64(k+1)
+		for j := 0; j < k; j++ {
+			mids[j] = lo + float64(j+1)*h
+		}
+		err := batch.Run(k, k, func(j int, _ *batch.Slot) error {
+			om, err := ordered(mids[j])
+			if err != nil {
+				return err
+			}
+			states[j] = om
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		// The transition lies between the last ordered and the first
+		// disordered probe (the order indicator is monotone in p).
+		newLo, newHi := lo, hi
+		for j := 0; j < k; j++ {
+			if states[j] {
+				newLo = mids[j]
+			} else {
+				newHi = mids[j]
+				break
+			}
+		}
+		lo, hi = newLo, newHi
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+func sweepGrid(lo, hi float64, n int) []float64 {
+	ps := make([]float64, n)
+	for i := range ps {
+		ps[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return ps
+}
+
+func requireIdentical(t *testing.T, tag string, a, b []ThresholdPoint) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d points", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].P != b[i].P {
+			t.Fatalf("%s: point %d: p %g vs %g", tag, i, a[i].P, b[i].P)
+		}
+		for k := range a[i].Gamma {
+			if a[i].Gamma[k] != b[i].Gamma[k] {
+				t.Fatalf("%s: point %d class %d: %v vs %v (not bit-identical)",
+					tag, i, k, a[i].Gamma[k], b[i].Gamma[k])
+			}
+		}
+	}
+}
+
+// The determinism contract of the batch engine: a sweep's results are
+// bit-identical at every worker count, cold or warm.
+func TestThresholdSweepFullBitIdenticalAcrossWorkers(t *testing.T) {
+	const nu = 8
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, 0.01)
+	ps := sweepGrid(0.005, 0.12, 11)
+	for _, warm := range []bool{false, true} {
+		ref, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: 1, WarmStart: warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 32} {
+			got, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: workers, WarmStart: warm})
+			if err != nil {
+				t.Fatalf("workers=%d warm=%v: %v", workers, warm, err)
+			}
+			requireIdentical(t, "full sweep", ref, got)
+		}
+	}
+}
+
+func TestThresholdSweepOptsBitIdenticalAcrossWorkers(t *testing.T) {
+	const nu = 20
+	l, err := landscape.NewSinglePeak(nu, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sweepGrid(0.002, 0.09, 17)
+	for _, warm := range []bool{false, true} {
+		ref, stats, err := ThresholdSweepOpts(l, ps, SweepOptions{Workers: 1, WarmStart: warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stats.Iterations) != len(ps) {
+			t.Fatalf("stats cover %d of %d points", len(stats.Iterations), len(ps))
+		}
+		for _, workers := range []int{2, 5, 16} {
+			got, _, err := ThresholdSweepOpts(l, ps, SweepOptions{Workers: workers, WarmStart: warm})
+			if err != nil {
+				t.Fatalf("workers=%d warm=%v: %v", workers, warm, err)
+			}
+			requireIdentical(t, "reduced sweep", ref, got)
+		}
+	}
+}
+
+// Warm-started solves must converge to the same eigenpair as cold ones —
+// within tolerance, point by point — while saving iterations overall.
+func TestWarmStartMatchesColdWithinTolerance(t *testing.T) {
+	const nu = 9
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, 0.01)
+	// A monotone grid toward the threshold, where continuation pays off.
+	ps := sweepGrid(0.01, 0.09, 12)
+	cold, coldStats, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmStats, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: 1, WarmStart: true, ChainLen: len(ps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		for k := range cold[i].Gamma {
+			if d := math.Abs(cold[i].Gamma[k] - warm[i].Gamma[k]); d > 1e-8 {
+				t.Errorf("p=%g class %d: |cold−warm| = %g", ps[i], k, d)
+			}
+		}
+	}
+	if w, c := warmStats.TotalIterations(), coldStats.TotalIterations(); w >= c {
+		t.Errorf("warm sweep took %d iterations, cold took %d — continuation saved nothing", w, c)
+	}
+	if warmStats.WarmPoints() != len(ps)-1 {
+		t.Errorf("%d of %d points warm-started, want %d", warmStats.WarmPoints(), len(ps), len(ps)-1)
+	}
+	if coldStats.WarmPoints() != 0 {
+		t.Errorf("cold sweep reports %d warm points", coldStats.WarmPoints())
+	}
+}
+
+// The legacy entry points must agree with the engine they now wrap.
+func TestLegacySweepWrappersMatchOpts(t *testing.T) {
+	const nu = 7
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, 0.02)
+	ps := sweepGrid(0.01, 0.08, 5)
+
+	legacy, err := ThresholdSweep(l, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, _, err := ThresholdSweepOpts(l, ps, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "reduced wrapper", legacy, opts)
+
+	legacyFull, err := ThresholdSweepFull(q, l, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsFull, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "full wrapper", legacyFull, optsFull)
+}
+
+func TestLocateThresholdOptsMatchesBisection(t *testing.T) {
+	const nu = 20
+	l, err := landscape.NewSinglePeak(nu, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LocateThreshold(l, 0.001, 0.4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got, err := LocateThresholdOpts(l, 0.001, 0.4, 1e-4, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Different probe sequences may land on different points inside the
+		// final bracket, but every answer is within tol of the transition.
+		if math.Abs(got-want) > 2e-4 {
+			t.Errorf("workers=%d: p_max = %g, bisection %g", workers, got, want)
+		}
+	}
+	theory, err := TheoreticalThreshold(4, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-theory)/theory > 0.25 {
+		t.Errorf("located %g far from first-order theory %g", want, theory)
+	}
+}
+
+func TestThresholdSweepFullOptsWithDevice(t *testing.T) {
+	const nu = 8
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, 0.01)
+	ps := sweepGrid(0.01, 0.06, 6)
+	// The device's reduction tree has its own (deterministic) summation
+	// order, so the bit-identity contract is per device configuration:
+	// sweep-level concurrency must not change a single bit for a fixed
+	// shared device.
+	dev := device.New(4, device.WithGrain(16))
+	ref, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: 1, WarmStart: true, Dev: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{Workers: workers, WarmStart: true, Dev: dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, "device sweep", ref, got)
+	}
+}
+
+func TestRunSweepBenchShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness exercised in long mode")
+	}
+	res, err := RunSweepBench(SweepBenchConfig{Nu: 8, Points: 6, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BitIdentical {
+		t.Error("parallel sweeps deviated from serial")
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("%d variants, want 4", len(res.Variants))
+	}
+	if res.WarmIterReductionPct <= 0 {
+		t.Errorf("warm start saved %.1f%% iterations, want > 0", res.WarmIterReductionPct)
+	}
+}

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+// Sweep benchmark: the four scheduling/continuation variants of one
+// threshold sweep — serial-cold (the pre-batch-engine baseline),
+// parallel-cold, serial-warm and parallel-warm — measured on the same
+// point grid, with a bit-identity cross-check between the serial and
+// parallel runs of each continuation mode.
+
+// SweepBenchConfig parameterizes RunSweepBench.
+type SweepBenchConfig struct {
+	Nu     int     // chain length (default 14)
+	Points int     // sweep points (default 16)
+	Sigma  float64 // single-peak superiority f₀/f_base (default 2)
+	// PMin/PMax bracket the sweep; when unset the grid climbs toward the
+	// theoretical threshold p_max ≈ 1 − σ^(−1/ν), stopping at 0.94·p_max:
+	// the shrinking spectral gap makes those cold solves most expensive —
+	// the regime the warm-start continuation is built for — while the
+	// exponentially small gap *inside* the critical window (where power
+	// iteration stagnates regardless of scheduling; see ErrStagnated)
+	// stays excluded.
+	PMin, PMax float64
+	Workers    int // parallel worker count (default 4)
+	ChainLen   int // warm-start chain length (default batch.DefaultChainLen)
+	Tol        float64
+	MaxIter    int
+	Dev        *device.Device
+}
+
+// SweepBenchVariant is one measured sweep configuration.
+type SweepBenchVariant struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Warm       bool    `json:"warm"`
+	Seconds    float64 `json:"seconds"`
+	Iterations int     `json:"iterations"` // total solver iterations over the sweep
+}
+
+// SweepBenchResult is the outcome of RunSweepBench.
+type SweepBenchResult struct {
+	Nu         int                 `json:"nu"`
+	Points     int                 `json:"points"`
+	Workers    int                 `json:"workers"`
+	PMin       float64             `json:"p_min"`
+	PMax       float64             `json:"p_max"`
+	Variants   []SweepBenchVariant `json:"variants"`
+	// WarmIterReductionPct is the iteration saving of serial-warm over
+	// serial-cold (100·(1 − warm/cold)).
+	WarmIterReductionPct float64 `json:"warm_iter_reduction_pct"`
+	// Speedup is serial-cold seconds / parallel-warm seconds — the
+	// end-to-end win of the batch engine over the baseline sweep.
+	Speedup float64 `json:"speedup"`
+	// BitIdentical reports that the parallel runs reproduced their serial
+	// counterparts' Gamma curves exactly, bit for bit.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+func (cfg *SweepBenchConfig) defaults() error {
+	if cfg.Nu <= 0 {
+		cfg.Nu = 14
+	}
+	if cfg.Points <= 0 {
+		cfg.Points = 16
+	}
+	if cfg.Points < 2 {
+		return fmt.Errorf("harness: sweep bench needs at least 2 points, got %d", cfg.Points)
+	}
+	if cfg.Sigma <= 1 {
+		cfg.Sigma = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.PMin <= 0 || cfg.PMax <= cfg.PMin {
+		pmax := 1 - math.Pow(cfg.Sigma, -1/float64(cfg.Nu))
+		cfg.PMin = 0.5 * pmax
+		cfg.PMax = 0.94 * pmax
+	}
+	return nil
+}
+
+// RunSweepBench measures a full-pipeline threshold sweep under the four
+// variants and cross-checks bit-identity of the parallel runs against the
+// serial ones.
+func RunSweepBench(cfg SweepBenchConfig) (*SweepBenchResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	l, err := landscape.NewSinglePeak(cfg.Nu, cfg.Sigma, 1)
+	if err != nil {
+		return nil, err
+	}
+	q, err := mutation.NewUniform(cfg.Nu, cfg.PMin)
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]float64, cfg.Points)
+	for i := range ps {
+		ps[i] = cfg.PMin + (cfg.PMax-cfg.PMin)*float64(i)/float64(cfg.Points-1)
+	}
+
+	res := &SweepBenchResult{
+		Nu: cfg.Nu, Points: cfg.Points, Workers: cfg.Workers,
+		PMin: cfg.PMin, PMax: cfg.PMax,
+		BitIdentical: true,
+	}
+	run := func(name string, workers int, warm bool) ([]ThresholdPoint, error) {
+		opts := SweepOptions{
+			Workers: workers, WarmStart: warm, ChainLen: cfg.ChainLen,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Dev: cfg.Dev,
+		}
+		var pts []ThresholdPoint
+		var stats *SweepStats
+		var runErr error
+		secs := MeasureSeconds(func() {
+			pts, stats, runErr = ThresholdSweepFullOpts(q, l, ps, opts)
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("%s: %w", name, runErr)
+		}
+		res.Variants = append(res.Variants, SweepBenchVariant{
+			Name: name, Workers: workers, Warm: warm,
+			Seconds: secs, Iterations: stats.TotalIterations(),
+		})
+		return pts, nil
+	}
+
+	serialCold, err := run("serial-cold", 1, false)
+	if err != nil {
+		return nil, err
+	}
+	parallelCold, err := run("parallel-cold", cfg.Workers, false)
+	if err != nil {
+		return nil, err
+	}
+	serialWarm, err := run("serial-warm", 1, true)
+	if err != nil {
+		return nil, err
+	}
+	parallelWarm, err := run("parallel-warm", cfg.Workers, true)
+	if err != nil {
+		return nil, err
+	}
+
+	res.BitIdentical = pointsIdentical(serialCold, parallelCold) &&
+		pointsIdentical(serialWarm, parallelWarm)
+	cold, warm := res.Variants[0], res.Variants[2]
+	if cold.Iterations > 0 {
+		res.WarmIterReductionPct = 100 * (1 - float64(warm.Iterations)/float64(cold.Iterations))
+	}
+	if s := res.Variants[3].Seconds; s > 0 {
+		res.Speedup = res.Variants[0].Seconds / s
+	}
+	return res, nil
+}
+
+// pointsIdentical reports bit-for-bit equality of two sweep results.
+func pointsIdentical(a, b []ThresholdPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].P != b[i].P || len(a[i].Gamma) != len(b[i].Gamma) {
+			return false
+		}
+		for k := range a[i].Gamma {
+			if a[i].Gamma[k] != b[i].Gamma[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteTSV renders the benchmark as tab-separated values: one row per
+// variant plus a summary row.
+func (r *SweepBenchResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# sweep bench: nu=%d points=%d p=[%.6g,%.6g] workers=%d bit_identical=%v\n",
+		r.Nu, r.Points, r.PMin, r.PMax, r.Workers, r.BitIdentical); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "variant\tworkers\twarm\tseconds\titerations"); err != nil {
+		return err
+	}
+	for _, v := range r.Variants {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%v\t%.6g\t%d\n",
+			v.Name, v.Workers, v.Warm, v.Seconds, v.Iterations); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# warm_iter_reduction=%.1f%% speedup(serial-cold/parallel-warm)=%.2fx\n",
+		r.WarmIterReductionPct, r.Speedup)
+	return err
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/errorclass"
 	"repro/internal/landscape"
 )
 
@@ -33,57 +32,9 @@ func TheoreticalThreshold(sigma float64, nu int) (float64, error) {
 // LocateThreshold bisects the error rate at which the master class
 // concentration [Γ0] of a class-based landscape falls below the
 // order criterion (factor × its uniform share 2^(−ν)). It returns the
-// located p_max to within tol.
+// located p_max to within tol. It is the single-probe form of
+// LocateThresholdOpts (see sweep.go), which evaluates several bracket
+// points per round concurrently.
 func LocateThreshold(l landscape.Landscape, lo, hi, tol float64) (float64, error) {
-	phi, ok := landscape.ClassBased(l)
-	if !ok {
-		return 0, fmt.Errorf("harness: threshold location needs a class-based landscape, got %T", l)
-	}
-	if !(lo > 0 && hi > lo && hi <= 0.5) {
-		return 0, fmt.Errorf("harness: invalid bracket [%g, %g]", lo, hi)
-	}
-	if tol <= 0 {
-		tol = 1e-5
-	}
-	nu := len(phi) - 1
-	// Order criterion: [Γ0] above 100× the uniform share.
-	uniformShare := math.Pow(2, -float64(nu))
-	ordered := func(p float64) (bool, error) {
-		red, err := errorclass.New(phi, p)
-		if err != nil {
-			return false, err
-		}
-		res, err := red.Solve()
-		if err != nil {
-			return false, err
-		}
-		return res.Gamma[0] > 100*uniformShare, nil
-	}
-	oLo, err := ordered(lo)
-	if err != nil {
-		return 0, err
-	}
-	oHi, err := ordered(hi)
-	if err != nil {
-		return 0, err
-	}
-	if !oLo {
-		return 0, fmt.Errorf("harness: lower bracket p = %g is already disordered", lo)
-	}
-	if oHi {
-		return 0, fmt.Errorf("harness: upper bracket p = %g is still ordered", hi)
-	}
-	for hi-lo > tol {
-		mid := (lo + hi) / 2
-		om, err := ordered(mid)
-		if err != nil {
-			return 0, err
-		}
-		if om {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2, nil
+	return LocateThresholdOpts(l, lo, hi, tol, SweepOptions{Workers: 1})
 }

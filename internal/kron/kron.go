@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/batch"
 	"repro/internal/bits"
 	"repro/internal/core"
 	"repro/internal/landscape"
@@ -83,6 +84,12 @@ type SolveOptions struct {
 	MaxIter int
 	// UseShift enables the conservative shift on each subproblem.
 	UseShift bool
+	// Workers solves that many factors concurrently (they are fully
+	// independent subproblems); 0 or 1 solves sequentially, < 0 selects
+	// GOMAXPROCS. Results are identical at every worker count: each
+	// factor's solve is self-contained and results are assembled in
+	// factor order, including the λ₀ = Π λᵢ product.
+	Workers int
 }
 
 // FactorResult is the solved eigenpair of one subproblem.
@@ -102,14 +109,20 @@ type Result struct {
 
 // Solve runs the decoupled per-factor eigensolves. The subproblems are
 // independent ("can all be solved independently instead of solving one
-// problem of size 2^ν") and are solved sequentially here; each inner solve
-// already parallelizes through its operator's device if configured.
+// problem of size 2^ν"); Workers > 1 schedules them over the batch
+// work-queue, assembling results — including the λ₀ = Π λᵢ product — in
+// factor order so the outcome matches the sequential solve exactly.
 func (s *System) Solve(opts SolveOptions) (*Result, error) {
-	res := &Result{system: s, Lambda: 1}
-	for i, f := range s.factors {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	res := &Result{system: s, Lambda: 1, Factors: make([]FactorResult, len(s.factors))}
+	err := batch.Run(len(s.factors), workers, func(i int, _ *batch.Slot) error {
+		f := s.factors[i]
 		op, err := core.NewFmmpOperator(f.Q, f.F, core.Right, nil)
 		if err != nil {
-			return nil, fmt.Errorf("kron: factor %d: %w", i, err)
+			return fmt.Errorf("kron: factor %d: %w", i, err)
 		}
 		tol := opts.Tol
 		if tol <= 0 {
@@ -121,16 +134,20 @@ func (s *System) Solve(opts SolveOptions) (*Result, error) {
 		}
 		pr, err := core.PowerIteration(op, po)
 		if err != nil {
-			return nil, fmt.Errorf("kron: factor %d did not converge: %w", i, err)
+			return fmt.Errorf("kron: factor %d did not converge: %w", i, err)
 		}
 		x := pr.Vector
 		if err := core.Concentrations(x); err != nil {
-			return nil, fmt.Errorf("kron: factor %d: %w", i, err)
+			return fmt.Errorf("kron: factor %d: %w", i, err)
 		}
-		res.Factors = append(res.Factors, FactorResult{
-			Lambda: pr.Lambda, Vector: x, Iterations: pr.Iterations,
-		})
-		res.Lambda *= pr.Lambda
+		res.Factors[i] = FactorResult{Lambda: pr.Lambda, Vector: x, Iterations: pr.Iterations}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range res.Factors {
+		res.Lambda *= f.Lambda
 	}
 	return res, nil
 }

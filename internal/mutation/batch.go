@@ -1,0 +1,165 @@
+package mutation
+
+import "repro/internal/device"
+
+// This file implements the multi-vector form of the fast mutation matrix
+// product: K independent vectors pushed through the butterfly stages in
+// ONE shared stage traversal. The batched sweep engine (internal/batch +
+// internal/harness) uses it for block power iterations and for verifying
+// all solutions of a sweep with a single operator pass.
+//
+// The traversal is restructured so the *stage plan* — tile split, fused
+// cross-stage groups, row-block enumeration — is computed once and the
+// vectors stream through it innermost: for the tile pass the tile index is
+// outer and the vectors inner (each vector's tile is cache-resident while
+// every small-stride stage is applied to it), and for the fused
+// large-stride passes the interacting row block is enumerated once and all
+// K vectors' row groups are swept before the next block (row-block
+// interleaving). Per vector the arithmetic — stage order, fusion grouping,
+// rounding sequence — is exactly that of Apply, so ApplyBatch is
+// BIT-IDENTICAL to applying Apply to each vector separately; the batched
+// device dispatch additionally fuses the K vectors' launches into one grid
+// per stage group, cutting barrier count by the batch width.
+
+// ApplyBatch computes vᵢ ← Q·vᵢ in place for every vector of vs with one
+// shared stage traversal. Results are bit-identical to calling Apply on
+// each vector. All vectors must have length 2^ν; vs may be empty.
+func (q *Process) ApplyBatch(vs [][]float64) {
+	for _, v := range vs {
+		q.checkDim(len(v))
+	}
+	if len(vs) == 0 {
+		return
+	}
+	if len(vs) == 1 {
+		q.Apply(vs[0])
+		return
+	}
+	tb := TileBits()
+	for _, s := range q.segs {
+		if s.grp < 0 {
+			applyStagesBlockedBatch(vs, s.off0, s.fs, tb, fuseStages)
+		} else {
+			// Grouped factors share the Process-owned gather scratch, so
+			// vectors pass through sequentially.
+			for _, v := range vs {
+				q.applyGroupSerial(q.groups[s.grp], v)
+			}
+		}
+	}
+}
+
+// ApplyBatchDevice is ApplyBatch on the device runtime: each fused stage
+// group is ONE launch over the combined grid of all K vectors' tiles
+// (resp. row blocks), so a batch of K matvecs costs the same number of
+// barriers as a single matvec. Bit-identical to ApplyBatch (and hence to
+// per-vector Apply) at every worker count.
+func (q *Process) ApplyBatchDevice(d *device.Device, vs [][]float64) {
+	for _, v := range vs {
+		q.checkDim(len(v))
+	}
+	if len(vs) == 0 {
+		return
+	}
+	if len(vs) == 1 {
+		q.ApplyDevice(d, vs[0])
+		return
+	}
+	tb := TileBits()
+	for _, s := range q.segs {
+		if s.grp < 0 {
+			applyStagesBlockedBatchDevice(d, vs, s.off0, s.fs, tb, fuseStages)
+		} else {
+			for _, v := range vs {
+				q.applyGroupDevice(d, q.groups[s.grp], v)
+			}
+		}
+	}
+}
+
+// applyStagesBlockedBatch is applyStagesBlocked over K vectors with the
+// vector loop innermost at every level of the traversal.
+func applyStagesBlockedBatch(vs [][]float64, off0 int, fs []Factor2, tb, fuse int) {
+	n := len(vs[0])
+	if n == 0 || len(fs) == 0 {
+		return
+	}
+	if fuse < 1 {
+		fuse = 1
+	}
+	if fuse > maxFuseStages {
+		fuse = maxFuseStages
+	}
+	B, nSmall := splitStages(n, off0, len(fs), tb)
+	if nSmall > 0 {
+		small := fs[:nSmall]
+		for t := 0; t < n; t += B {
+			for _, v := range vs {
+				tileStages(v[t:t+B], off0, small)
+			}
+		}
+	}
+	for s := nSmall; s < len(fs); {
+		m := len(fs) - s
+		if m > fuse {
+			m = fuse
+		}
+		group := fs[s : s+m]
+		rb0 := off0 + s - log2(B)
+		lowMask := 1<<uint(rb0) - 1
+		nBases := (n >> uint(log2(B))) >> uint(m)
+		for bb := 0; bb < nBases; bb++ {
+			base := ((bb &^ lowMask) << uint(m)) | (bb & lowMask)
+			for _, v := range vs {
+				crossGroup(v, B, base, rb0, group)
+			}
+		}
+		s += m
+	}
+}
+
+// applyStagesBlockedBatchDevice dispatches each fused stage group as one
+// launch over the K·(tiles or row blocks) combined grid, vector-major so
+// a contiguous chunk of logical threads walks contiguous memory of one
+// vector.
+func applyStagesBlockedBatchDevice(d *device.Device, vs [][]float64, off0 int, fs []Factor2, tb, fuse int) {
+	n := len(vs[0])
+	if n == 0 || len(fs) == 0 {
+		return
+	}
+	if fuse < 1 {
+		fuse = 1
+	}
+	if fuse > maxFuseStages {
+		fuse = maxFuseStages
+	}
+	B, nSmall := splitStages(n, off0, len(fs), tb)
+	if nSmall > 0 {
+		small := fs[:nSmall]
+		ntiles := n / B
+		d.LaunchStages(nSmall, len(vs)*ntiles, B, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				v, t := vs[id/ntiles], id%ntiles
+				tileStages(v[t*B:(t+1)*B], off0, small)
+			}
+		})
+	}
+	for s := nSmall; s < len(fs); {
+		m := len(fs) - s
+		if m > fuse {
+			m = fuse
+		}
+		group := fs[s : s+m]
+		rb0 := off0 + s - log2(B)
+		lowMask := 1<<uint(rb0) - 1
+		nBases := (n >> uint(log2(B))) >> uint(m)
+		d.LaunchStages(m, len(vs)*nBases, B<<uint(m), func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				v, bb := vs[id/nBases], id%nBases
+				base := ((bb &^ lowMask) << uint(m)) | (bb & lowMask)
+				crossGroup(v, B, base, rb0, group)
+			}
+		})
+		s += m
+	}
+}

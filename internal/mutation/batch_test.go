@@ -1,0 +1,118 @@
+package mutation
+
+import (
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// randVectors returns k deterministic pseudo-random vectors of length n.
+func randVectors(seed uint64, k, n int) [][]float64 {
+	r := rng.New(seed)
+	vs := make([][]float64, k)
+	for j := range vs {
+		vs[j] = make([]float64, n)
+		for i := range vs[j] {
+			vs[j][i] = r.Float64() + 0.1
+		}
+	}
+	return vs
+}
+
+func cloneVectors(vs [][]float64) [][]float64 {
+	out := make([][]float64, len(vs))
+	for j, v := range vs {
+		out[j] = vec.Clone(v)
+	}
+	return out
+}
+
+func TestApplyBatchBitIdenticalToApply(t *testing.T) {
+	for _, nu := range []int{0, 1, 4, 9, 13} {
+		for _, k := range []int{1, 2, 3, 5} {
+			q := MustUniform(nu, 0.013)
+			vs := randVectors(uint64(100*nu+k), k, q.Dim())
+			want := cloneVectors(vs)
+			for _, v := range want {
+				q.Apply(v)
+			}
+			q.ApplyBatch(vs)
+			for j := range vs {
+				for i := range vs[j] {
+					if vs[j][i] != want[j][i] {
+						t.Fatalf("ν=%d k=%d: vector %d entry %d: batch %v vs apply %v",
+							nu, k, j, i, vs[j][i], want[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyBatchGroupedProcess(t *testing.T) {
+	r := rng.New(7)
+	q, err := NewGrouped([]*dense.Matrix{
+		randStochasticMatrix(r, 2),
+		randStochasticMatrix(r, 8),
+		randStochasticMatrix(r, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := randVectors(11, 3, q.Dim())
+	want := cloneVectors(vs)
+	for _, v := range want {
+		q.Apply(v)
+	}
+	q.ApplyBatch(vs)
+	for j := range vs {
+		for i := range vs[j] {
+			if vs[j][i] != want[j][i] {
+				t.Fatalf("grouped: vector %d entry %d differs", j, i)
+			}
+		}
+	}
+}
+
+func TestApplyBatchDeviceBitIdentical(t *testing.T) {
+	q := MustUniform(12, 0.02)
+	for _, workers := range []int{1, 2, 4} {
+		d := device.New(workers, device.WithGrain(64))
+		vs := randVectors(uint64(workers), 3, q.Dim())
+		want := cloneVectors(vs)
+		q.ApplyBatch(want)
+		q.ApplyBatchDevice(d, vs)
+		for j := range vs {
+			for i := range vs[j] {
+				if vs[j][i] != want[j][i] {
+					t.Fatalf("workers=%d: vector %d entry %d: device batch deviates", workers, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyBatchDoesNotAllocate(t *testing.T) {
+	q := MustUniform(12, 0.01)
+	vs := randVectors(3, 4, q.Dim())
+	if allocs := testing.AllocsPerRun(10, func() { q.ApplyBatch(vs) }); allocs != 0 {
+		t.Errorf("ApplyBatch allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestApplyBatchEmptyAndSingle(t *testing.T) {
+	q := MustUniform(8, 0.01)
+	q.ApplyBatch(nil) // must not panic
+	v := randVectors(1, 1, q.Dim())
+	w := cloneVectors(v)
+	q.Apply(w[0])
+	q.ApplyBatch(v)
+	for i := range v[0] {
+		if v[0][i] != w[0][i] {
+			t.Fatal("single-vector batch deviates from Apply")
+		}
+	}
+}

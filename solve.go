@@ -70,6 +70,41 @@ type Model struct {
 	workers    int
 	xmvpRadius int
 	dev        *device.Device
+
+	// Operator cache: the Fmmp operators (and their landscape diagonals)
+	// are immutable once built, so repeated Solve/Residual calls on the
+	// same Model reuse them instead of re-materializing Θ(N) diagonals.
+	opRight *core.FmmpOperator
+	opSym   *core.FmmpOperator
+	// residScratch backs Residual's product vector across calls.
+	residScratch []float64
+}
+
+// fmmpOperator returns the cached Fmmp operator for the formulation,
+// building it on first use.
+func (mo *Model) fmmpOperator(form core.Formulation) (*core.FmmpOperator, error) {
+	switch form {
+	case core.Right:
+		if mo.opRight == nil {
+			op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+			if err != nil {
+				return nil, err
+			}
+			mo.opRight = op
+		}
+		return mo.opRight, nil
+	case core.Symmetric:
+		if mo.opSym == nil {
+			op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Symmetric, mo.dev)
+			if err != nil {
+				return nil, err
+			}
+			mo.opSym = op
+		}
+		return mo.opSym, nil
+	default:
+		return nil, fmt.Errorf("%w: no cached operator for formulation %d", ErrInvalidModel, int(form))
+	}
 }
 
 // Option configures a Model.
@@ -248,7 +283,7 @@ func (mo *Model) buildXmvpOperator() (core.Operator, error) {
 }
 
 func (mo *Model) solvePower() (*Solution, error) {
-	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+	op, err := mo.fmmpOperator(core.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +307,7 @@ func (mo *Model) solveWithOperator(op core.Operator, method Method) (*Solution, 
 }
 
 func (mo *Model) solveLanczos() (*Solution, error) {
-	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Symmetric, mo.dev)
+	op, err := mo.fmmpOperator(core.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +339,7 @@ func (mo *Model) finishSolution(lambda float64, x []float64, iters int, residual
 }
 
 func (mo *Model) solveArnoldi() (*Solution, error) {
-	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+	op, err := mo.fmmpOperator(core.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -364,11 +399,14 @@ func (mo *Model) Residual(lambda float64, x []float64) (float64, error) {
 	if len(x) != mo.Dim() {
 		return 0, fmt.Errorf("%w: vector length %d, want %d", ErrInvalidModel, len(x), mo.Dim())
 	}
-	op, err := core.NewFmmpOperator(mo.mut.q, mo.land.l, core.Right, mo.dev)
+	op, err := mo.fmmpOperator(core.Right)
 	if err != nil {
 		return 0, err
 	}
-	w := make([]float64, len(x))
+	if len(mo.residScratch) != len(x) {
+		mo.residScratch = make([]float64, len(x))
+	}
+	w := mo.residScratch
 	op.Apply(w, x)
 	vec.AXPY(-lambda, x, w)
 	return vec.Norm2(w), nil

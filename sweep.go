@@ -16,14 +16,37 @@ type ThresholdPoint struct {
 	Gamma []float64
 }
 
+// SweepOptions configures the batched sweep engine behind ThresholdCurve
+// and LocateErrorThreshold. The zero value is the serial cold-start sweep.
+type SweepOptions struct {
+	// Workers runs that many eigensolves concurrently; 0 or 1 is serial,
+	// < 0 selects all available cores. Sweep results are bit-identical at
+	// every worker count.
+	Workers int
+	// WarmStart seeds each solve with the converged solution of the
+	// previous error rate along fixed-length continuation chains — a large
+	// iteration saving on monotone p-grids, at identical accuracy.
+	WarmStart bool
+}
+
 // ThresholdCurve sweeps the error rate p over the given values for a
 // class-based landscape and returns the Figure 1 curves. The exact
 // (ν+1)×(ν+1) reduction makes the sweep cheap at any chain length.
 func ThresholdCurve(l Landscape, ps []float64) ([]ThresholdPoint, error) {
+	return ThresholdCurveWith(l, ps, SweepOptions{})
+}
+
+// ThresholdCurveWith is ThresholdCurve on the batched sweep engine:
+// eigensolves are scheduled over opts.Workers concurrent slots and may be
+// warm-started along the grid. The returned curves are bit-identical to
+// the serial sweep at every worker count.
+func ThresholdCurveWith(l Landscape, ps []float64, opts SweepOptions) ([]ThresholdPoint, error) {
 	if !l.valid() {
 		return nil, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
 	}
-	pts, err := harness.ThresholdSweep(l.l, ps)
+	pts, _, err := harness.ThresholdSweepOpts(l.l, ps, harness.SweepOptions{
+		Workers: normalizeSweepWorkers(opts.Workers), WarmStart: opts.WarmStart,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -39,10 +62,31 @@ func ThresholdCurve(l Landscape, ps []float64) ([]ThresholdPoint, error) {
 // uniform distribution (the Figure 1 phase transition), searching the
 // bracket [lo, hi] to within tol.
 func LocateErrorThreshold(l Landscape, lo, hi, tol float64) (float64, error) {
+	return LocateErrorThresholdWith(l, lo, hi, tol, SweepOptions{})
+}
+
+// LocateErrorThresholdWith is LocateErrorThreshold with opts.Workers
+// bracket points evaluated concurrently per round (k-section search),
+// shrinking the bracket by a factor Workers+1 per round instead of 2.
+func LocateErrorThresholdWith(l Landscape, lo, hi, tol float64, opts SweepOptions) (float64, error) {
 	if !l.valid() {
 		return 0, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
 	}
-	return harness.LocateThreshold(l.l, lo, hi, tol)
+	return harness.LocateThresholdOpts(l.l, lo, hi, tol, harness.SweepOptions{
+		Workers: normalizeSweepWorkers(opts.Workers),
+	})
+}
+
+// normalizeSweepWorkers maps the public convention (0 or 1 serial, < 0 all
+// cores) onto the harness convention (≤ 0 all cores).
+func normalizeSweepWorkers(n int) int {
+	if n == 0 {
+		return 1
+	}
+	if n < 0 {
+		return 0 // harness/batch: ≤ 0 selects GOMAXPROCS
+	}
+	return n
 }
 
 // TheoreticalErrorThreshold returns the first-order estimate
@@ -138,8 +182,11 @@ func SolveKronecker(blocks []KroneckerBlock, opts ...Option) (*KroneckerSolution
 	if cfg.tolSet {
 		tol = cfg.tol
 	}
+	// WithWorkers here parallelizes across blocks: the subproblems are
+	// independent, so block-level scheduling is the natural concurrency.
 	res, err := sys.Solve(kron.SolveOptions{
 		Tol: tol, MaxIter: cfg.maxIter, UseShift: cfg.useShift,
+		Workers: cfg.workers,
 	})
 	if err != nil {
 		return nil, err

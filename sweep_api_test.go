@@ -1,0 +1,140 @@
+package quasispecies
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThresholdCurveWithWorkersBitIdentical(t *testing.T) {
+	land, err := SinglePeak(25, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]float64, 18)
+	for i := range ps {
+		ps[i] = 0.002 + 0.005*float64(i)
+	}
+	ref, err := ThresholdCurve(land, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []SweepOptions{
+		{Workers: 2},
+		{Workers: 7},
+		{Workers: -1},
+		{Workers: 3, WarmStart: true},
+	} {
+		got, err := ThresholdCurveWith(land, ps, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		for i := range ref {
+			if got[i].P != ref[i].P {
+				t.Fatalf("%+v: point %d p mismatch", opts, i)
+			}
+			for k := range ref[i].Gamma {
+				want, have := ref[i].Gamma[k], got[i].Gamma[k]
+				if opts.WarmStart {
+					// Warm starts change the iterate path; agreement is to
+					// solver tolerance, not bit-exact.
+					if math.Abs(want-have) > 1e-9 {
+						t.Fatalf("%+v: point %d class %d: |Δ| = %g", opts, i, k, math.Abs(want-have))
+					}
+				} else if want != have {
+					t.Fatalf("%+v: point %d class %d: %v vs %v (not bit-identical)", opts, i, k, want, have)
+				}
+			}
+		}
+	}
+}
+
+func TestLocateErrorThresholdWithWorkers(t *testing.T) {
+	land, err := SinglePeak(20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LocateErrorThreshold(land, 0.001, 0.4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LocateErrorThresholdWith(land, 0.001, 0.4, 1e-4, SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 2e-4 {
+		t.Errorf("k-section p_max = %g, bisection %g", got, want)
+	}
+}
+
+// The Model caches its Fmmp operator: after the first Solve, a Residual
+// check must not rebuild the Θ(N) landscape diagonals (satellite of the
+// batched-sweep PR; this is the regression guard).
+func TestModelReusesOperatorAcrossSolveAndResidual(t *testing.T) {
+	mut, _ := UniformMutation(10, 0.01)
+	land, _ := SinglePeak(10, 2, 1)
+	model, err := New(mut, land, WithMethod(MethodFmmp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := model.Residual(sol.Lambda, sol.Concentrations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 > 1e-8 {
+		t.Errorf("residual %g too large", r0)
+	}
+	// Warm the scratch, then require allocation-free steady state.
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := model.Residual(sol.Lambda, sol.Concentrations); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Residual allocates %.0f objects per call after warm-up; operator/scratch not cached", allocs)
+	}
+	// Re-solving must reuse the cached operator and agree exactly.
+	sol2, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Lambda != sol.Lambda {
+		t.Errorf("re-solve λ = %v, first %v", sol2.Lambda, sol.Lambda)
+	}
+}
+
+func TestSolveKroneckerWithWorkersMatchesSerial(t *testing.T) {
+	blocks := []KroneckerBlock{
+		{ChainLen: 4, ErrorRate: 0.01, Fitness: rampFitness(16, 1, 3)},
+		{ChainLen: 5, ErrorRate: 0.02, Fitness: rampFitness(32, 1, 2)},
+		{ChainLen: 3, ErrorRate: 0.015, Fitness: rampFitness(8, 1, 4)},
+	}
+	serial, err := SolveKronecker(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SolveKronecker(blocks, WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Lambda() != parallel.Lambda() {
+		t.Errorf("parallel λ = %v, serial %v", parallel.Lambda(), serial.Lambda())
+	}
+	sg, pg := serial.Gamma(), parallel.Gamma()
+	for k := range sg {
+		if sg[k] != pg[k] {
+			t.Errorf("class %d: parallel Γ deviates from serial", k)
+		}
+	}
+}
+
+func rampFitness(n int, lo, hi float64) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = hi - (hi-lo)*float64(i)/float64(n-1)
+	}
+	return f
+}
