@@ -33,6 +33,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/harness"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -58,10 +59,16 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the batched sweep benchmark (serial/parallel × cold/warm threshold sweep) instead")
 		points     = flag.Int("points", 16, "sweep points for -sweep")
 		sweepSigma = flag.Float64("sweep-sigma", 2, "single-peak superiority f0/f1 for -sweep")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 	)
 	flag.Parse()
 	if *tile > 0 {
 		mutation.SetTileBits(*tile)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "qs-solverbench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	w := bufio.NewWriter(os.Stdout)

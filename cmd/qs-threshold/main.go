@@ -9,6 +9,13 @@
 //
 //	qs-threshold -landscape singlepeak -nu 20 > fig1_left.tsv
 //	qs-threshold -landscape linear     -nu 20 > fig1_right.tsv
+//
+// By default each point is solved with the exact (ν+1)×(ν+1) class
+// reduction; -full switches to full 2^ν Pi(Fmmp) solves, the mode that
+// exercises the instrumented solver core and supports -trace convergence
+// dumps and live -debug-addr metrics:
+//
+//	qs-threshold -full -nu 14 -steps 24 -warm -trace trace.tsv -debug-addr 127.0.0.1:9190
 package main
 
 import (
@@ -18,22 +25,38 @@ import (
 	"os"
 
 	quasispecies "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		nu     = flag.Int("nu", 20, "chain length ν")
-		land   = flag.String("landscape", "singlepeak", "singlepeak | linear")
-		f0     = flag.Float64("f0", 2, "master fitness f₀")
-		f1     = flag.Float64("f1", 1, "base / distance-ν fitness")
-		pMin   = flag.Float64("pmin", 0.0005, "smallest error rate")
-		pMax   = flag.Float64("pmax", 0.09, "largest error rate")
+		nu      = flag.Int("nu", 20, "chain length ν")
+		land    = flag.String("landscape", "singlepeak", "singlepeak | linear")
+		f0      = flag.Float64("f0", 2, "master fitness f₀")
+		f1      = flag.Float64("f1", 1, "base / distance-ν fitness")
+		pMin    = flag.Float64("pmin", 0.0005, "smallest error rate")
+		pMax    = flag.Float64("pmax", 0.09, "largest error rate")
 		steps   = flag.Int("steps", 180, "number of p samples")
 		locate  = flag.Bool("locate", false, "bisect and print the error threshold p_max instead of sweeping")
 		workers = flag.Int("workers", 1, "concurrent eigensolves (0/1 serial, -1 all cores); results are bit-identical at any count")
 		warm    = flag.Bool("warm", false, "warm-start each solve from the previous error rate's solution")
+		full    = flag.Bool("full", false, "solve the full 2^ν eigenproblem per point instead of the exact class reduction")
+
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+		traceFile  = flag.String("trace", "", "write per-point convergence traces to this file (.tsv or .jsonl; requires -full)")
+		traceEvery = flag.Int("trace-every", 1, "keep every Nth residual check per point in the trace")
+		progress   = flag.Bool("progress", false, "print one line per solved point to stderr")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "qs-threshold: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+	}
+	if *traceFile != "" && !*full {
+		exitOn(fmt.Errorf("-trace records full-space convergence traces; add -full (the class reduction is exact and does not iterate per point)"))
+	}
 
 	var l quasispecies.Landscape
 	var err error
@@ -67,8 +90,45 @@ func main() {
 		return
 	}
 
-	pts, err := quasispecies.ThresholdCurveWith(l, ps,
-		quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm})
+	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm}
+	if *progress || *debugAddr != "" {
+		pr := *progress
+		opts.Progress = func(i int, p float64, iters int, warmStarted bool) {
+			obs.RecordSweepPoint(p, iters, warmStarted)
+			if pr {
+				tag := "cold"
+				if warmStarted {
+					tag = "warm"
+				}
+				fmt.Fprintf(os.Stderr, "qs-threshold: point %d/%d p=%.6g done (%d iterations, %s)\n",
+					i+1, len(ps), p, iters, tag)
+			}
+		}
+	}
+	var trace *obs.Trace
+	if *traceFile != "" {
+		trace = obs.NewTrace(*traceEvery)
+		opts.Observe = func(i int, p float64) quasispecies.SolveObserver {
+			return trace.Recorder(fmt.Sprintf("p=%.6g", p))
+		}
+	}
+
+	var pts []quasispecies.ThresholdPoint
+	if *full {
+		pts, err = quasispecies.ThresholdCurveFullWith(l, ps, opts)
+	} else {
+		pts, err = quasispecies.ThresholdCurveWith(l, ps, opts)
+	}
+	if trace != nil {
+		// Write the trace even on failure: a stagnation trace of the point
+		// that failed is exactly what the file is for.
+		if werr := trace.WriteFile(*traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "qs-threshold:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "qs-threshold: convergence trace written to %s (%d rows)\n",
+				*traceFile, len(trace.Rows()))
+		}
+	}
 	exitOn(err)
 
 	w := bufio.NewWriter(os.Stdout)

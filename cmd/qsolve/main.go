@@ -17,6 +17,7 @@ import (
 	"time"
 
 	quasispecies "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,8 +40,18 @@ func main() {
 		perSite = flag.String("persite", "", "comma-separated per-position error rates (overrides -p; enables the Section 2.2 general process)")
 		save    = flag.String("save", "", "write the solved distribution to this checkpoint file")
 		load    = flag.String("load", "", "skip solving; analyze the checkpoint file instead")
+
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+		traceFile  = flag.String("trace", "", "write the solve's convergence trace to this file (.tsv or .jsonl)")
+		traceEvery = flag.Int("trace-every", 1, "keep every Nth residual check in the trace")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "qsolve: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+	}
 
 	if *load != "" {
 		sol, err := quasispecies.LoadSolutionFile(*load)
@@ -69,17 +80,34 @@ func main() {
 
 	m, err := methodFromName(*method)
 	exitOn(err)
-	model, err := quasispecies.New(mut, l,
+	modelOpts := []quasispecies.Option{
 		quasispecies.WithMethod(m),
 		quasispecies.WithTolerance(*tol),
 		quasispecies.WithWorkers(*workers),
 		quasispecies.WithShift(!*noShift),
 		quasispecies.WithXmvpRadius(*dmax),
-	)
+	}
+	var trace *obs.Trace
+	if *traceFile != "" {
+		trace = obs.NewTrace(*traceEvery)
+		modelOpts = append(modelOpts, quasispecies.WithObserver(
+			trace.Recorder(fmt.Sprintf("p=%g", *p))))
+	}
+	model, err := quasispecies.New(mut, l, modelOpts...)
 	exitOn(err)
 
 	start := time.Now()
 	sol, err := model.Solve()
+	if trace != nil {
+		// Write the trace even when the solve failed — a stagnation trace
+		// is exactly what the file is for.
+		if werr := trace.WriteFile(*traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "qsolve:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "qsolve: convergence trace written to %s (%d rows)\n",
+				*traceFile, len(trace.Rows()))
+		}
+	}
 	exitOn(err)
 	elapsed := time.Since(start)
 

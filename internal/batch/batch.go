@@ -28,7 +28,45 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// Observer receives scheduler lifecycle callbacks: run boundaries and
+// per-task start/done events with slot attribution, the source of the
+// qs_batch_* occupancy and task-latency metrics. The hook is nil by
+// default (disabled cost: one atomic pointer load per Run); TaskStart and
+// TaskDone arrive concurrently from the worker goroutines, so
+// implementations must be safe for concurrent use.
+type Observer interface {
+	RunStart(tasks, workers int)
+	TaskStart(slot, task int)
+	TaskDone(slot, task int, d time.Duration, failed bool)
+	RunDone(tasks int, d time.Duration)
+}
+
+type observerHook struct{ o Observer }
+
+var schedObs atomic.Pointer[observerHook]
+
+// SetObserver installs o as the process-wide scheduler observer (nil
+// uninstalls). Call at startup, not concurrently with running batches.
+func SetObserver(o Observer) {
+	if o == nil {
+		schedObs.Store(nil)
+		return
+	}
+	schedObs.Store(&observerHook{o: o})
+}
+
+// runTask executes one task under the observer's start/done bracket.
+func (h *observerHook) runTask(task func(i int, s *Slot) error, i int, s *Slot) error {
+	h.o.TaskStart(s.id, i)
+	start := time.Now()
+	err := task(i, s)
+	h.o.TaskDone(s.id, i, time.Since(start), err != nil)
+	return err
+}
 
 // DefaultChainLen is the number of consecutive sweep points per warm-start
 // chain when the caller does not choose one. Within a chain, point k seeds
@@ -90,6 +128,11 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 	if workers > n {
 		workers = n
 	}
+	h := schedObs.Load()
+	if h != nil {
+		h.o.RunStart(n, workers)
+		defer func(start time.Time) { h.o.RunDone(n, time.Since(start)) }(time.Now())
+	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, no synchronization — the
 		// reference execution the parallel path is tested against.
@@ -97,7 +140,8 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 		var firstErr error
 		firstIdx := n
 		for i := 0; i < n; i++ {
-			if err := task(i, s); err != nil && i < firstIdx {
+			err := runOne(h, task, i, s)
+			if err != nil && i < firstIdx {
 				firstErr, firstIdx = fmt.Errorf("batch: task %d: %w", i, err), i
 			}
 		}
@@ -123,7 +167,7 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 				if i >= n {
 					return
 				}
-				if err := task(i, slot); err != nil {
+				if err := runOne(h, task, i, slot); err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstErr, firstIdx = fmt.Errorf("batch: task %d: %w", i, err), i
@@ -135,6 +179,14 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// runOne executes task(i, s), bracketed by the observer when installed.
+func runOne(h *observerHook, task func(i int, s *Slot) error, i int, s *Slot) error {
+	if h == nil {
+		return task(i, s)
+	}
+	return h.runTask(task, i, s)
 }
 
 // Chain is one contiguous run of sweep points, [Lo, Hi), processed

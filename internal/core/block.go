@@ -190,14 +190,24 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 		return nil, err
 	}
 
+	sh := solveObs.Load()
+	if sh != nil {
+		sh.o.SolveStart(SolveKindBlockPower, n)
+	}
+	if opts.Observer != nil {
+		opts.Observer.Event(EventStart, 0, 0, 0)
+	}
 	res := &BlockPowerResult{
 		Lambdas:   make([]float64, k),
 		Residuals: make([]float64, k),
 	}
+	bestWorst := math.Inf(1)
+	bestIter := 0
+	worst := 0.0
 	for iter := 1; iter <= maxIter; iter++ {
 		batchApply(op, W, X)
 		res.Iterations = iter
-		worst := 0.0
+		worst = 0.0
 		for j := 0; j < k; j++ {
 			theta := vec.Dot(X[j], W[j]) // Rayleigh quotient, ‖X[j]‖₂ = 1
 			res.Lambdas[j] = theta
@@ -211,11 +221,24 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 				worst = res.Residuals[j]
 			}
 		}
+		if sh != nil {
+			sh.o.SolveStep(SolveKindBlockPower, 1)
+		}
+		if opts.Observer != nil {
+			// Step reports the dominant estimate and the worst residual of
+			// the block — the pair that bounds overall convergence.
+			opts.Observer.Step(iter, res.Lambdas[0], worst)
+		}
+		if worst < bestWorst {
+			bestWorst = worst
+			bestIter = iter
+		}
 		if worst <= tol {
 			res.Converged = true
 			break
 		}
 		if err := orthonormalize(W); err != nil {
+			powerDone(sh, opts.Observer, SolveKindBlockPower, EventBreakdown, iter, res.Lambdas[0], worst)
 			return res, fmt.Errorf("core: block iteration broke down at step %d: %w", iter, err)
 		}
 		X, W = W, X
@@ -225,9 +248,14 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 	}
 	res.Vectors = X
 	if !res.Converged {
-		return res, fmt.Errorf("%w after %d block iterations (worst residual %g, tol %g)",
-			ErrNoConvergence, res.Iterations, maxSlice(res.Residuals), tol)
+		powerDone(sh, opts.Observer, SolveKindBlockPower, EventBudgetExhausted, res.Iterations, res.Lambdas[0], worst)
+		return res, &ConvergenceError{
+			Reason:     ErrNoConvergence,
+			Iterations: res.Iterations, Residual: maxSlice(res.Residuals), BestResidual: bestWorst,
+			SinceImprovement: res.Iterations - bestIter, Shift: opts.Shift, Tol: tol,
+		}
 	}
+	powerDone(sh, opts.Observer, SolveKindBlockPower, EventConverged, res.Iterations, res.Lambdas[0], worst)
 	return res, nil
 }
 

@@ -55,6 +55,11 @@ type PowerOptions struct {
 	// Monitor, when non-nil, receives (iteration, λ̃, residual) after each
 	// residual check. Returning false aborts with ErrNoConvergence.
 	Monitor func(iter int, lambda, residual float64) bool
+	// Observer, when non-nil, receives the solve's convergence trace: one
+	// Step per residual check plus lifecycle Events (start, converged,
+	// stagnated, …). Unlike Monitor it cannot abort the solve. A nil
+	// Observer costs nothing — no calls, no allocations.
+	Observer Observer
 	// Work, when non-nil, supplies reusable iterate/product scratch so
 	// repeated solves of the same dimension (sweeps, batched runs)
 	// allocate nothing per solve. The returned PowerResult.Vector aliases
@@ -150,8 +155,17 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 		return PowerResult{}, errors.New("core: start vector is zero")
 	}
 	scale(dev, x, 1/nrm)
+	sh := solveObs.Load()
+	if sh != nil {
+		sh.o.SolveStart(SolveKindPower, n)
+	}
+	if opts.Observer != nil {
+		opts.Observer.Event(EventStart, 0, mu, 0)
+	}
 	res := PowerResult{Vector: x}
 	bestResidual := math.Inf(1)
+	bestIter := 0 // iteration at which bestResidual last improved
+	lastCheck := 0
 	stalled := 0
 	for iter := 1; iter <= maxIter; iter++ {
 		op.Apply(w, x)
@@ -167,37 +181,62 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 			// pair: Wx − λx = (W−µI)x − (λ−µ)x.
 			r := residual(dev, w, x, lamShifted)
 			res.Residual = r
+			if sh != nil {
+				sh.o.SolveStep(SolveKindPower, iter-lastCheck)
+			}
+			lastCheck = iter
+			if opts.Observer != nil {
+				opts.Observer.Step(iter, res.Lambda, r)
+			}
+			if r < bestResidual*(1-1e-6) {
+				bestResidual = r
+				bestIter = iter
+				stalled = 0
+			} else {
+				stalled++
+			}
 			if opts.Monitor != nil && !opts.Monitor(iter, res.Lambda, r) {
 				finish(dev, &res, x)
-				return res, fmt.Errorf("%w: aborted by monitor at iteration %d", ErrNoConvergence, iter)
+				powerDone(sh, opts.Observer, SolveKindPower, EventAborted, iter, res.Lambda, r)
+				return res, &ConvergenceError{
+					Reason: ErrNoConvergence, Detail: fmt.Sprintf("aborted by monitor at iteration %d", iter),
+					Iterations: iter, Residual: r, BestResidual: bestResidual,
+					SinceImprovement: iter - bestIter, Shift: mu, Tol: tol,
+				}
 			}
 			if r <= tol {
 				res.Converged = true
 				finish(dev, &res, x)
+				powerDone(sh, opts.Observer, SolveKindPower, EventConverged, iter, res.Lambda, r)
 				return res, nil
 			}
-			if stallChecks > 0 {
-				if r < bestResidual*(1-1e-6) {
-					bestResidual = r
-					stalled = 0
-				} else if stalled++; stalled >= stallChecks {
-					finish(dev, &res, x)
-					return res, fmt.Errorf("%w: residual %g after %d iterations (tol %g)",
-						ErrStagnated, r, iter, tol)
+			if stallChecks > 0 && stalled >= stallChecks {
+				finish(dev, &res, x)
+				powerDone(sh, opts.Observer, SolveKindPower, EventStagnated, iter, res.Lambda, r)
+				return res, &ConvergenceError{
+					Reason:     ErrStagnated,
+					Iterations: iter, Residual: r, BestResidual: bestResidual,
+					SinceImprovement: iter - bestIter, Shift: mu, Tol: tol,
 				}
 			}
 		}
 		nrm = norm2(dev, w)
 		if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
 			finish(dev, &res, x)
+			powerDone(sh, opts.Observer, SolveKindPower, EventBreakdown, iter, res.Lambda, res.Residual)
 			return res, fmt.Errorf("core: iteration broke down at step %d (‖w‖ = %g)", iter, nrm)
 		}
 		inv := 1 / nrm
-		// x ← w/‖w‖.
+		// x ← w/‖w‖. The device closure captures branch-local copies of
+		// the vectors: capturing x/w directly would make them escape and
+		// cost two heap allocations per solve even on the serial path
+		// (escape analysis is static), breaking the zero-alloc guarantee
+		// of Work-backed sweep solves.
 		if dev != nil {
+			xd, wd := x, w
 			dev.LaunchRange(n, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					x[i] = w[i] * inv
+					xd[i] = wd[i] * inv
 				}
 			})
 		} else {
@@ -207,8 +246,22 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 		}
 	}
 	finish(dev, &res, x)
-	return res, fmt.Errorf("%w after %d iterations (residual %g, tol %g)",
-		ErrNoConvergence, res.Iterations, res.Residual, tol)
+	powerDone(sh, opts.Observer, SolveKindPower, EventBudgetExhausted, res.Iterations, res.Lambda, res.Residual)
+	return res, &ConvergenceError{
+		Reason:     ErrNoConvergence,
+		Iterations: res.Iterations, Residual: res.Residual, BestResidual: bestResidual,
+		SinceImprovement: res.Iterations - bestIter, Shift: mu, Tol: tol,
+	}
+}
+
+// powerDone emits the end-of-solve notifications to both hook mechanisms.
+func powerDone(sh *solveHook, obs Observer, kind, outcome string, iter int, lambda, residual float64) {
+	if obs != nil {
+		obs.Event(outcome, iter, lambda, residual)
+	}
+	if sh != nil {
+		sh.o.SolveDone(kind, iter, residual, outcome)
+	}
 }
 
 func finish(dev *device.Device, res *PowerResult, x []float64) {

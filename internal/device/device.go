@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Device executes data-parallel kernels over worker goroutines. A Device is
@@ -130,7 +131,7 @@ func (d *Device) LaunchRange(n int, kernel func(lo, hi int)) {
 
 	chunk, nchunks := d.plan(n, d.grain)
 	d.chunksTotal.Add(int64(nchunks))
-	d.run(n, chunk, nchunks, kernel)
+	d.run(LaunchKindRange, n, chunk, nchunks, kernel)
 }
 
 // LaunchStages dispatches a fused group of `stages` dependent butterfly
@@ -154,14 +155,29 @@ func (d *Device) LaunchStages(stages, n, weight int, kernel func(lo, hi int)) {
 	}
 	chunk, nchunks := d.plan(n, d.grain/weight)
 	d.chunksTotal.Add(int64(nchunks))
-	d.run(n, chunk, nchunks, kernel)
+	d.run(LaunchKindStages, n, chunk, nchunks, kernel)
 }
 
-// run executes a planned launch with the configured dispatch.
-func (d *Device) run(n, chunk, nchunks int, kernel func(lo, hi int)) {
+// run executes a planned launch with the configured dispatch. kind is the
+// launch family reported to an installed LaunchObserver; with no observer
+// the only instrumentation cost is the atomic hook load.
+func (d *Device) run(kind string, n, chunk, nchunks int, kernel func(lo, hi int)) {
+	h := launchObs.Load()
+	if h == nil {
+		d.dispatch(n, chunk, nchunks, kernel, false)
+		return
+	}
+	start := time.Now()
+	wait := d.dispatch(n, chunk, nchunks, kernel, true)
+	h.o.Launch(kind, n, nchunks, time.Since(start), wait)
+}
+
+// dispatch runs a planned launch; with measureWait it returns the barrier
+// tail the submitting goroutine spent waiting on pool workers.
+func (d *Device) dispatch(n, chunk, nchunks int, kernel func(lo, hi int), measureWait bool) time.Duration {
 	if nchunks == 1 || d.workers == 1 {
 		kernel(0, n)
-		return
+		return 0
 	}
 	if d.spawn {
 		var wg sync.WaitGroup
@@ -178,9 +194,9 @@ func (d *Device) run(n, chunk, nchunks int, kernel func(lo, hi int)) {
 			}(lo, hi)
 		}
 		wg.Wait()
-		return
+		return 0
 	}
-	runPooled(&batch{kernel: kernel, n: n, chunk: chunk, nchunks: nchunks}, d.workers-1)
+	return runPooled(&batch{kernel: kernel, n: n, chunk: chunk, nchunks: nchunks}, d.workers-1, measureWait)
 }
 
 // Reduce computes the combination of f(0) … f(n−1) under the associative
@@ -204,7 +220,7 @@ func (d *Device) Reduce(n int, identity float64, f func(i int) float64, combine 
 		return acc
 	}
 	partial := make([]float64, nchunks)
-	d.run(n, chunk, nchunks, func(lo, hi int) {
+	d.run(LaunchKindReduce, n, chunk, nchunks, func(lo, hi int) {
 		acc := identity
 		for i := lo; i < hi; i++ {
 			acc = combine(acc, f(i))

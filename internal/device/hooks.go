@@ -1,0 +1,42 @@
+package device
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observability hook for the kernel-launch runtime. Nil by default; the
+// disabled cost per launch is one atomic pointer load. internal/obs
+// installs an observer that feeds the qs_device_* metric families.
+
+// Launch kinds reported to the LaunchObserver.
+const (
+	LaunchKindRange  = "range"  // Launch / LaunchRange dispatches
+	LaunchKindStages = "stages" // fused stage-group dispatches (LaunchStages)
+	LaunchKindReduce = "reduce" // reduction launches
+)
+
+// LaunchObserver receives one callback per completed kernel launch that
+// actually dispatched (n > 0, after planning). total is the wall time of
+// the whole launch including the submitting goroutine's own share of the
+// work; wait is the tail the submitter spent blocked on the batch barrier
+// after exhausting the chunk queue — the pool's queue-wait/straggler
+// signal (0 for single-chunk and spawn dispatches). Callbacks can arrive
+// concurrently; implementations must be safe for concurrent use.
+type LaunchObserver interface {
+	Launch(kind string, n, chunks int, total, wait time.Duration)
+}
+
+type launchHook struct{ o LaunchObserver }
+
+var launchObs atomic.Pointer[launchHook]
+
+// SetLaunchObserver installs o as the process-wide launch observer (nil
+// uninstalls). Call at startup, not concurrently with running launches.
+func SetLaunchObserver(o LaunchObserver) {
+	if o == nil {
+		launchObs.Store(nil)
+		return
+	}
+	launchObs.Store(&launchHook{o: o})
+}

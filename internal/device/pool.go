@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the persistent worker pool behind every Device.
@@ -83,8 +84,10 @@ func poolTasks() chan *batch {
 // runPooled executes the batch on the persistent pool: up to helpers pool
 // workers are invited with non-blocking sends (a busy pool just means the
 // caller does a larger share), the caller joins the batch itself, and the
-// barrier is the batch's own WaitGroup.
-func runPooled(b *batch, helpers int) {
+// barrier is the batch's own WaitGroup. With measureWait it returns how
+// long the caller was blocked on that barrier after finishing its own
+// chunks — the straggler/queue-wait tail reported to a LaunchObserver.
+func runPooled(b *batch, helpers int, measureWait bool) time.Duration {
 	b.wg.Add(b.nchunks)
 	if helpers > b.nchunks-1 {
 		helpers = b.nchunks - 1
@@ -99,5 +102,11 @@ enqueue:
 		}
 	}
 	b.run()
+	if measureWait {
+		start := time.Now()
+		b.wg.Wait()
+		return time.Since(start)
+	}
 	b.wg.Wait()
+	return 0
 }

@@ -46,6 +46,16 @@ type SweepOptions struct {
 	// Device serves all workers (concurrent launches are pooled). Nil
 	// runs each solve serially.
 	Dev *device.Device
+	// Observe, when non-nil, supplies the convergence-trace observer for
+	// point i (p = ps[i]) of a full-space sweep; return nil to skip a
+	// point. Observers for different points may be invoked concurrently
+	// (one solve each), so the factory must be safe for concurrent calls —
+	// obs.Trace.Recorder is. Reduced sweeps ignore it.
+	Observe func(i int, p float64) core.Observer
+	// Progress, when non-nil, is called once per finished point with its
+	// solve cost and warm-start status. Calls arrive concurrently from the
+	// sweep workers; implementations must be safe for concurrent use.
+	Progress func(i int, p float64, iters int, warm bool)
 }
 
 // SweepStats instruments one sweep run.
@@ -110,6 +120,9 @@ func ThresholdSweepOpts(l landscape.Landscape, ps []float64, opts SweepOptions) 
 			}
 			out[i] = ThresholdPoint{P: ps[i], Gamma: res.Gamma}
 			stats.Iterations[i] = res.Iterations
+			if opts.Progress != nil {
+				opts.Progress(i, ps[i], res.Iterations, stats.Warm[i])
+			}
 			prev = res.Gamma
 		}
 		return nil
@@ -166,18 +179,26 @@ func ThresholdSweepFullOpts(q *mutation.Process, l landscape.Landscape, ps []flo
 				start = prev // aliases the slot scratch; PowerIteration self-copies
 				stats.Warm[i] = true
 			}
+			var observer core.Observer
+			if opts.Observe != nil {
+				observer = opts.Observe(i, p)
+			}
 			res, err := core.PowerIteration(op, core.PowerOptions{
-				Tol:     tol,
-				MaxIter: opts.MaxIter,
-				Start:   start,
-				Shift:   core.ConservativeShift(qp, l),
-				Dev:     opts.Dev,
-				Work:    work,
+				Tol:      tol,
+				MaxIter:  opts.MaxIter,
+				Start:    start,
+				Shift:    core.ConservativeShift(qp, l),
+				Dev:      opts.Dev,
+				Work:     work,
+				Observer: observer,
 			})
 			if err != nil {
 				return fmt.Errorf("p = %g: %w", p, err)
 			}
 			stats.Iterations[i] = res.Iterations
+			if opts.Progress != nil {
+				opts.Progress(i, p, res.Iterations, stats.Warm[i])
+			}
 			// res.Vector aliases work.x; normalizing it to concentrations
 			// in place keeps its direction, so it stays a valid warm start.
 			x := res.Vector

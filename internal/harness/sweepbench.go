@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"repro/internal/device"
 	"repro/internal/landscape"
@@ -45,14 +46,37 @@ type SweepBenchVariant struct {
 	Iterations int     `json:"iterations"` // total solver iterations over the sweep
 }
 
+// HostInfo records the execution environment of a benchmark run so stored
+// result files stay interpretable: timings from a 1-core CI runner and a
+// 32-core workstation must not be compared as if equivalent.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CollectHostInfo snapshots the current process's execution environment.
+func CollectHostInfo() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 // SweepBenchResult is the outcome of RunSweepBench.
 type SweepBenchResult struct {
-	Nu         int                 `json:"nu"`
-	Points     int                 `json:"points"`
-	Workers    int                 `json:"workers"`
-	PMin       float64             `json:"p_min"`
-	PMax       float64             `json:"p_max"`
-	Variants   []SweepBenchVariant `json:"variants"`
+	Nu       int                 `json:"nu"`
+	Points   int                 `json:"points"`
+	Workers  int                 `json:"workers"`
+	PMin     float64             `json:"p_min"`
+	PMax     float64             `json:"p_max"`
+	Host     HostInfo            `json:"host"`
+	Variants []SweepBenchVariant `json:"variants"`
 	// WarmIterReductionPct is the iteration saving of serial-warm over
 	// serial-cold (100·(1 − warm/cold)).
 	WarmIterReductionPct float64 `json:"warm_iter_reduction_pct"`
@@ -111,6 +135,7 @@ func RunSweepBench(cfg SweepBenchConfig) (*SweepBenchResult, error) {
 	res := &SweepBenchResult{
 		Nu: cfg.Nu, Points: cfg.Points, Workers: cfg.Workers,
 		PMin: cfg.PMin, PMax: cfg.PMax,
+		Host:         CollectHostInfo(),
 		BitIdentical: true,
 	}
 	run := func(name string, workers int, warm bool) ([]ThresholdPoint, error) {
@@ -187,6 +212,12 @@ func (r *SweepBenchResult) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# sweep bench: nu=%d points=%d p=[%.6g,%.6g] workers=%d bit_identical=%v\n",
 		r.Nu, r.Points, r.PMin, r.PMax, r.Workers, r.BitIdentical); err != nil {
 		return err
+	}
+	if r.Host != (HostInfo{}) {
+		if _, err := fmt.Fprintf(w, "# host: %s %s/%s cpus=%d gomaxprocs=%d\n",
+			r.Host.GoVersion, r.Host.GOOS, r.Host.GOARCH, r.Host.NumCPU, r.Host.GOMAXPROCS); err != nil {
+			return err
+		}
 	}
 	if _, err := fmt.Fprintln(w, "variant\tworkers\twarm\tseconds\titerations"); err != nil {
 		return err

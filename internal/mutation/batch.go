@@ -1,6 +1,10 @@
 package mutation
 
-import "repro/internal/device"
+import (
+	"time"
+
+	"repro/internal/device"
+)
 
 // This file implements the multi-vector form of the fast mutation matrix
 // product: K independent vectors pushed through the butterfly stages in
@@ -35,6 +39,9 @@ func (q *Process) ApplyBatch(vs [][]float64) {
 		q.Apply(vs[0])
 		return
 	}
+	if h := kernelObs.Load(); h != nil {
+		defer h.span(KindApplyBatch, q.nu, len(vs), time.Now())
+	}
 	tb := TileBits()
 	for _, s := range q.segs {
 		if s.grp < 0 {
@@ -64,6 +71,9 @@ func (q *Process) ApplyBatchDevice(d *device.Device, vs [][]float64) {
 	if len(vs) == 1 {
 		q.ApplyDevice(d, vs[0])
 		return
+	}
+	if h := kernelObs.Load(); h != nil {
+		defer h.span(KindApplyBatchDevice, q.nu, len(vs), time.Now())
 	}
 	tb := TileBits()
 	for _, s := range q.segs {

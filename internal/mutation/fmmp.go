@@ -2,6 +2,7 @@ package mutation
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/device"
 )
@@ -23,12 +24,26 @@ import (
 // result is bit-identical to ApplyNaive. It panics if len(v) != 2^ν.
 func (q *Process) Apply(v []float64) {
 	q.checkDim(len(v))
+	h := kernelObs.Load()
+	if h != nil {
+		defer h.span(KindApply, q.nu, 1, time.Now())
+	}
 	tb := TileBits()
 	for _, s := range q.segs {
+		var t0 time.Time
+		if h != nil {
+			t0 = time.Now()
+		}
 		if s.grp < 0 {
 			applyStagesBlocked(v, s.off0, s.fs, tb, fuseStages)
+			if h != nil {
+				h.span(KindStageGroup, len(s.fs), 1, t0)
+			}
 		} else {
 			q.applyGroupSerial(q.groups[s.grp], v)
+			if h != nil {
+				h.span(KindStageGroup, q.groups[s.grp].bitsLen, 1, t0)
+			}
 		}
 	}
 }
@@ -99,6 +114,10 @@ func (q *Process) recurse(v []float64, level int) []float64 {
 // the serial blocked path bit-identically.
 func (q *Process) ApplyDevice(d *device.Device, v []float64) {
 	q.checkDim(len(v))
+	h := kernelObs.Load()
+	if h != nil {
+		defer h.span(KindApplyDevice, q.nu, 1, time.Now())
+	}
 	tb := TileBits()
 	for _, s := range q.segs {
 		if s.grp < 0 {

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns the debug mux: /metrics (Prometheus text exposition of
+// the default registry), /debug/vars (expvar, including the registry
+// snapshot under "qs_solver"), the net/http/pprof endpoints under
+// /debug/pprof/, and a trivial /healthz.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the default registry under /debug/vars exactly
+// once (expvar.Publish panics on duplicates).
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("qs_solver", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+}
+
+// Serve starts the debug HTTP server on addr (host:port; port 0 picks a
+// free port) and returns the bound address. The server runs for the
+// remainder of the process.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	publishExpvar()
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// StartDebugServer is the one-call tool entry point behind the shared
+// -debug-addr flag: it installs the solver metric hooks (EnableSolverMetrics)
+// and starts the debug server, returning the bound address.
+func StartDebugServer(addr string) (string, error) {
+	EnableSolverMetrics()
+	return Serve(addr)
+}

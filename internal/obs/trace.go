@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Convergence-trace recorder: collects the per-iteration (iter, λ̃, R)
+// stream and the solver lifecycle events of one or many eigensolves, for
+// export as TSV or JSONL. A TraceRecorder satisfies core.Observer
+// structurally (Step/Event), so the trace plugs into PowerOptions.Observer
+// without this package importing internal/core.
+
+// TraceRow is one record of a convergence trace. Event is "" for plain
+// residual-check steps and a lifecycle tag (start, converged, stagnated,
+// budget_exhausted, breakdown, aborted) otherwise.
+type TraceRow struct {
+	Label    string  `json:"label,omitempty"`
+	Iter     int     `json:"iter"`
+	Lambda   float64 `json:"lambda"`
+	Residual float64 `json:"residual"`
+	Event    string  `json:"event,omitempty"`
+}
+
+// Trace accumulates convergence rows from one or more solves. Recorders
+// append under a mutex, so one Trace may serve concurrent sweep workers;
+// rows of interleaved solves are distinguished by their labels.
+type Trace struct {
+	mu    sync.Mutex
+	every int
+	rows  []TraceRow
+}
+
+// NewTrace returns a trace that keeps every `every`-th Step row of each
+// recorder (and all Event rows); every ≤ 1 keeps all steps. Thinning keeps
+// trace files of slowly converging solves near the error threshold at
+// plottable size without losing the stagnation signature.
+func NewTrace(every int) *Trace {
+	if every < 1 {
+		every = 1
+	}
+	return &Trace{every: every}
+}
+
+func (t *Trace) append(row TraceRow) {
+	t.mu.Lock()
+	t.rows = append(t.rows, row)
+	t.mu.Unlock()
+}
+
+// Rows returns a copy of the recorded rows in append order.
+func (t *Trace) Rows() []TraceRow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRow, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Recorder returns a per-solve recorder whose rows carry the given label
+// (e.g. "p=0.0312"). The recorder is not safe for concurrent use — one
+// recorder per solve, as PowerOptions.Observer prescribes.
+func (t *Trace) Recorder(label string) *TraceRecorder {
+	return &TraceRecorder{t: t, label: label}
+}
+
+// TraceRecorder records one solve's convergence stream into its Trace.
+// Its method set matches core.Observer.
+type TraceRecorder struct {
+	t     *Trace
+	label string
+	steps int
+}
+
+// Step records a residual check, thinned to the Trace's every-N setting.
+func (r *TraceRecorder) Step(iter int, lambda, residual float64) {
+	r.steps++
+	if r.t.every > 1 && r.steps%r.t.every != 0 {
+		return
+	}
+	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual})
+}
+
+// Event records a solver lifecycle event (never thinned).
+func (r *TraceRecorder) Event(event string, iter int, lambda, residual float64) {
+	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual, Event: event})
+}
+
+// WriteTSV renders the trace as tab-separated values with a header row.
+func (t *Trace) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "label\titer\tlambda\tresidual\tevent")
+	for _, r := range t.Rows() {
+		fmt.Fprintf(bw, "%s\t%d\t%.17g\t%.6g\t%s\n", r.Label, r.Iter, r.Lambda, r.Residual, r.Event)
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL renders the trace as one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.Rows() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path, choosing JSONL for a .jsonl (or
+// .json) extension and TSV otherwise.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".json") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteTSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

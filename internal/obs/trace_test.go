@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceThinning(t *testing.T) {
+	tr := NewTrace(10)
+	rec := tr.Recorder("p=0.01")
+	rec.Event("start", 0, 0.05, 0)
+	for i := 1; i <= 95; i++ {
+		rec.Step(i, 1.5, 1e-3/float64(i))
+	}
+	rec.Event("converged", 95, 1.5, 1e-5)
+	rows := tr.Rows()
+	// 9 thinned steps (every 10th of 95) + 2 events.
+	steps, events := 0, 0
+	for _, r := range rows {
+		if r.Event == "" {
+			steps++
+		} else {
+			events++
+		}
+		if r.Label != "p=0.01" {
+			t.Fatalf("row label = %q", r.Label)
+		}
+	}
+	if steps != 9 || events != 2 {
+		t.Fatalf("got %d steps, %d events; want 9, 2", steps, events)
+	}
+}
+
+func TestTraceKeepsAllWithEveryOne(t *testing.T) {
+	tr := NewTrace(0) // ≤1 keeps everything
+	rec := tr.Recorder("")
+	for i := 1; i <= 7; i++ {
+		rec.Step(i, 1, 0.1)
+	}
+	if got := len(tr.Rows()); got != 7 {
+		t.Fatalf("rows = %d, want 7", got)
+	}
+}
+
+func TestTraceConcurrentRecorders(t *testing.T) {
+	tr := NewTrace(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := tr.Recorder("w")
+			for i := 1; i <= 100; i++ {
+				rec.Step(i, 1, 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Rows()); got != 400 {
+		t.Fatalf("rows = %d, want 400", got)
+	}
+}
+
+func TestTraceWriteTSVAndJSONL(t *testing.T) {
+	tr := NewTrace(1)
+	rec := tr.Recorder("p=0.02")
+	rec.Event("start", 0, 0.0625, 0)
+	rec.Step(100, 1.875, 2.5e-4)
+
+	var tsv strings.Builder
+	if err := tr.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tsv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tsv lines = %d, want 3:\n%s", len(lines), tsv.String())
+	}
+	if lines[0] != "label\titer\tlambda\tresidual\tevent" {
+		t.Fatalf("tsv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "p=0.02\t0\t") || !strings.HasSuffix(lines[1], "\tstart") {
+		t.Fatalf("tsv event row = %q", lines[1])
+	}
+
+	var jl strings.Builder
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	var row TraceRow
+	if err := json.Unmarshal([]byte(strings.Split(jl.String(), "\n")[1]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Iter != 100 || row.Lambda != 1.875 || row.Residual != 2.5e-4 {
+		t.Fatalf("jsonl row = %+v", row)
+	}
+}
+
+func TestTraceWriteFileByExtension(t *testing.T) {
+	tr := NewTrace(1)
+	tr.Recorder("x").Step(1, 1, 0.5)
+	dir := t.TempDir()
+
+	tsvPath := filepath.Join(dir, "trace.tsv")
+	if err := tr.WriteFile(tsvPath); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(tsvPath)
+	if !strings.HasPrefix(string(b), "label\t") {
+		t.Fatalf("tsv file content = %q", b)
+	}
+
+	jlPath := filepath.Join(dir, "trace.jsonl")
+	if err := tr.WriteFile(jlPath); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(jlPath)
+	if !strings.HasPrefix(string(b), "{") {
+		t.Fatalf("jsonl file content = %q", b)
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mutation"
+)
+
+// wire.go is the single place where obs reaches into the solver packages:
+// EnableSolverMetrics builds the qs_* metric families in the default
+// registry and installs one observer per hook point (mutation kernels,
+// device launches, batch scheduler, eigensolvers). The solver packages
+// never import obs — each exposes a nil-by-default observer interface that
+// this file populates.
+
+// kernelMetrics feeds the qs_kernel_* families from mutation kernel spans.
+type kernelMetrics struct {
+	applies map[string]*Counter
+	seconds map[string]*Histogram
+	stages  *Counter
+	vectors *Counter
+}
+
+func (m *kernelMetrics) KernelApply(kind string, stages, vectors int, d time.Duration) {
+	if c := m.applies[kind]; c != nil {
+		c.Inc()
+	}
+	if h := m.seconds[kind]; h != nil {
+		h.Observe(d.Seconds())
+	}
+	m.stages.Add(int64(stages))
+	m.vectors.Add(int64(vectors))
+}
+
+// launchMetrics feeds the qs_device_* families from device launch spans.
+type launchMetrics struct {
+	launches map[string]*Counter
+	chunks   *Counter
+	seconds  *Histogram
+	wait     *Histogram
+}
+
+func (m *launchMetrics) Launch(kind string, n, chunks int, total, wait time.Duration) {
+	if c := m.launches[kind]; c != nil {
+		c.Inc()
+	}
+	m.chunks.Add(int64(chunks))
+	m.seconds.Observe(total.Seconds())
+	m.wait.Observe(wait.Seconds())
+}
+
+// schedMetrics feeds the qs_batch_* families from scheduler callbacks.
+type schedMetrics struct {
+	runs     *Counter
+	tasks    *Counter
+	failures *Counter
+	inflight *Gauge
+	taskSec  *Histogram
+	runSec   *Histogram
+}
+
+func (m *schedMetrics) RunStart(tasks, workers int) { m.runs.Inc() }
+
+func (m *schedMetrics) TaskStart(slot, task int) { m.inflight.Add(1) }
+
+func (m *schedMetrics) TaskDone(slot, task int, d time.Duration, failed bool) {
+	m.inflight.Add(-1)
+	m.tasks.Inc()
+	if failed {
+		m.failures.Inc()
+	}
+	m.taskSec.Observe(d.Seconds())
+}
+
+func (m *schedMetrics) RunDone(tasks int, d time.Duration) { m.runSec.Observe(d.Seconds()) }
+
+// solveMetrics feeds the qs_power_* families from eigensolver callbacks.
+type solveMetrics struct {
+	solves   map[string]*Counter
+	iters    *Counter
+	checks   *Counter
+	outcomes map[string]*Counter
+	lastRes  *GaugeFloat
+}
+
+func (m *solveMetrics) SolveStart(kind string, dim int) {
+	if c := m.solves[kind]; c != nil {
+		c.Inc()
+	}
+}
+
+func (m *solveMetrics) SolveStep(kind string, iters int) {
+	m.iters.Add(int64(iters))
+	m.checks.Inc()
+}
+
+func (m *solveMetrics) SolveDone(kind string, iters int, residual float64, outcome string) {
+	if c := m.outcomes[outcome]; c != nil {
+		c.Inc()
+	}
+	m.lastRes.Set(residual)
+}
+
+// sweepMetrics backs RecordSweepPoint.
+type sweepMetrics struct {
+	points   *Counter
+	iters    *Counter
+	warmHits *Counter
+	lastP    *GaugeFloat
+}
+
+var wire struct {
+	once  sync.Once
+	sweep *sweepMetrics
+}
+
+// EnableSolverMetrics registers the qs_* metric families in the default
+// registry and installs the solver observers (mutation kernels, device
+// launches, batch scheduler, eigensolvers). Idempotent; call once at tool
+// startup — StartDebugServer calls it for you.
+func EnableSolverMetrics() {
+	wire.once.Do(func() {
+		r := Default()
+		sb := SecondsBuckets()
+
+		km := &kernelMetrics{
+			applies: map[string]*Counter{},
+			seconds: map[string]*Histogram{},
+			stages:  r.Counter("qs_kernel_stages_total", "Butterfly stages executed by instrumented kernel passes."),
+			vectors: r.Counter("qs_kernel_vectors_total", "Vectors processed by instrumented kernel passes."),
+		}
+		for _, kind := range []string{
+			mutation.KindApply, mutation.KindApplyDevice,
+			mutation.KindApplyBatch, mutation.KindApplyBatchDevice,
+			mutation.KindStageGroup,
+		} {
+			km.applies[kind] = r.Counter(
+				`qs_kernel_applies_total{kind="`+kind+`"}`,
+				"Mutation kernel passes by kind (apply, apply_device, apply_batch, apply_batch_device, stage_group).")
+			km.seconds[kind] = r.Histogram(
+				`qs_kernel_apply_seconds{kind="`+kind+`"}`,
+				"Wall time of mutation kernel passes by kind.", sb)
+		}
+		mutation.SetKernelObserver(km)
+
+		lm := &launchMetrics{
+			launches: map[string]*Counter{},
+			chunks:   r.Counter("qs_device_chunks_total", "Chunks dispatched by observed device launches."),
+			seconds:  r.Histogram("qs_device_launch_seconds", "Wall time of device kernel launches.", sb),
+			wait:     r.Histogram("qs_device_queue_wait_seconds", "Barrier tail the submitter spent waiting on pool workers.", sb),
+		}
+		for _, kind := range []string{
+			device.LaunchKindRange, device.LaunchKindStages, device.LaunchKindReduce,
+		} {
+			lm.launches[kind] = r.Counter(
+				`qs_device_launches_total{kind="`+kind+`"}`,
+				"Device kernel launches by kind (range, stages, reduce).")
+		}
+		device.SetLaunchObserver(lm)
+
+		bm := &schedMetrics{
+			runs:     r.Counter("qs_batch_runs_total", "Batched scheduler runs started."),
+			tasks:    r.Counter("qs_batch_tasks_total", "Scheduler tasks completed."),
+			failures: r.Counter("qs_batch_task_failures_total", "Scheduler tasks that returned an error."),
+			inflight: r.Gauge("qs_batch_tasks_inflight", "Scheduler tasks currently executing (slot occupancy)."),
+			taskSec:  r.Histogram("qs_batch_task_seconds", "Wall time of individual scheduler tasks.", sb),
+			runSec:   r.Histogram("qs_batch_run_seconds", "Wall time of whole scheduler runs.", sb),
+		}
+		batch.SetObserver(bm)
+
+		sm := &solveMetrics{
+			solves:   map[string]*Counter{},
+			iters:    r.Counter("qs_power_iterations_total", "Power-iteration steps performed (accumulated at residual checks)."),
+			checks:   r.Counter("qs_power_residual_checks_total", "Residual evaluations performed."),
+			outcomes: map[string]*Counter{},
+			lastRes:  r.GaugeFloat("qs_power_last_residual", "Residual reported by the most recently finished solve."),
+		}
+		for _, kind := range []string{core.SolveKindPower, core.SolveKindBlockPower} {
+			sm.solves[kind] = r.Counter(
+				`qs_power_solves_total{kind="`+kind+`"}`,
+				"Eigensolves started by kind (power, block_power).")
+		}
+		for _, outcome := range []string{
+			core.EventConverged, core.EventStagnated, core.EventBudgetExhausted,
+			core.EventBreakdown, core.EventAborted,
+		} {
+			sm.outcomes[outcome] = r.Counter(
+				`qs_power_outcomes_total{outcome="`+outcome+`"}`,
+				"Eigensolve terminations by outcome.")
+		}
+		core.SetSolveObserver(sm)
+
+		wire.sweep = &sweepMetrics{
+			points:   r.Counter("qs_sweep_points_total", "Sweep points solved."),
+			iters:    r.Counter("qs_sweep_iterations_total", "Power iterations accumulated over sweep points."),
+			warmHits: r.Counter("qs_sweep_warm_hits_total", "Sweep points solved from a warm-start seed."),
+			lastP:    r.GaugeFloat("qs_sweep_last_p", "Mutation probability of the most recently solved sweep point."),
+		}
+	})
+}
+
+// RecordSweepPoint feeds the qs_sweep_* families with one finished sweep
+// point: its mutation probability p, the iterations its solve took, and
+// whether it started from a warm seed. A no-op until EnableSolverMetrics
+// has run.
+func RecordSweepPoint(p float64, iters int, warm bool) {
+	m := wire.sweep
+	if m == nil {
+		return
+	}
+	m.points.Inc()
+	m.iters.Add(int64(iters))
+	if warm {
+		m.warmHits.Inc()
+	}
+	m.lastP.Set(p)
+}

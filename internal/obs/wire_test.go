@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
+)
+
+// TestEnableSolverMetricsEndToEnd installs the hooks, runs a real solve and
+// a sweep-point record, and verifies the metric families move and are
+// served over HTTP — the in-process version of the CI smoke test.
+func TestEnableSolverMetricsEndToEnd(t *testing.T) {
+	EnableSolverMetrics()
+
+	const nu = 8
+	l, _ := landscape.NewSinglePeak(nu, 2, 1)
+	q := mutation.MustUniform(nu, 0.01)
+	op, err := core.NewFmmpOperator(q, l, core.Right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace(1)
+	res, err := core.PowerIteration(op, core.PowerOptions{
+		Tol:      1e-10,
+		Observer: tr.Recorder("test"),
+	})
+	if err != nil {
+		t.Fatalf("PowerIteration: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("solve did not converge")
+	}
+	RecordSweepPoint(0.01, res.Iterations, true)
+
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, family := range []string{
+		`qs_kernel_applies_total{kind="apply"}`,
+		"qs_power_iterations_total",
+		"qs_power_residual_checks_total",
+		`qs_power_solves_total{kind="power"}`,
+		`qs_power_outcomes_total{outcome="converged"}`,
+		"qs_sweep_points_total",
+		"qs_sweep_warm_hits_total",
+		"qs_batch_tasks_inflight",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+	// The solve above must have produced non-zero kernel and iteration
+	// counts (other tests may add more; ≥ is enough).
+	for _, m := range []*Counter{
+		Default().Counter(`qs_kernel_applies_total{kind="apply"}`, ""),
+		Default().Counter("qs_power_iterations_total", ""),
+		Default().Counter("qs_sweep_points_total", ""),
+		Default().Counter("qs_sweep_warm_hits_total", ""),
+	} {
+		if m.Value() < 1 {
+			t.Errorf("metric stayed zero after instrumented solve")
+		}
+	}
+
+	// The observer trace must carry the start event and the convergence tail.
+	rows := tr.Rows()
+	if len(rows) < 2 {
+		t.Fatalf("trace rows = %d", len(rows))
+	}
+	if rows[0].Event != "start" {
+		t.Errorf("first trace row = %+v, want start event", rows[0])
+	}
+	if last := rows[len(rows)-1]; last.Event != "converged" {
+		t.Errorf("last trace row = %+v, want converged event", last)
+	}
+
+	// /debug/vars must include the registry snapshot.
+	resp, err = http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "qs_solver") {
+		t.Errorf("/debug/vars missing qs_solver snapshot")
+	}
+
+	// /healthz responds.
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", resp.StatusCode)
+	}
+}

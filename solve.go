@@ -69,6 +69,7 @@ type Model struct {
 	useShift   bool
 	workers    int
 	xmvpRadius int
+	observer   SolveObserver
 	dev        *device.Device
 
 	// Operator cache: the Fmmp operators (and their landscape diagonals)
@@ -174,6 +175,26 @@ func WithXmvpRadius(dmax int) Option {
 			return fmt.Errorf("quasispecies: Xmvp radius %d must be ≥ 1", dmax)
 		}
 		mo.xmvpRadius = dmax
+		return nil
+	}
+}
+
+// SolveObserver receives the convergence trace of a power-method solve:
+// Step after every residual check and Event at lifecycle transitions
+// ("start", "converged", "stagnated", …). obs.Trace recorders satisfy it;
+// so does core.Observer, which it mirrors. Krylov and reduced backends do
+// not report traces and ignore the observer.
+type SolveObserver interface {
+	Step(iter int, lambda, residual float64)
+	Event(event string, iter int, lambda, residual float64)
+}
+
+// WithObserver attaches a convergence-trace observer to the model's solves
+// (see SolveObserver). Observing is passive: results are bit-identical
+// with and without an observer.
+func WithObserver(o SolveObserver) Option {
+	return func(mo *Model) error {
+		mo.observer = o
 		return nil
 	}
 }
@@ -295,6 +316,9 @@ func (mo *Model) solveWithOperator(op core.Operator, method Method) (*Solution, 
 		Tol: mo.effectiveTol(), MaxIter: mo.maxIter,
 		Start: core.FitnessStart(mo.land.l),
 		Dev:   mo.dev,
+	}
+	if mo.observer != nil {
+		popts.Observer = mo.observer
 	}
 	if mo.useShift {
 		popts.Shift = core.ConservativeShift(mo.mut.q, mo.land.l)

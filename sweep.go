@@ -3,6 +3,7 @@ package quasispecies
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/kron"
 	"repro/internal/landscape"
@@ -27,6 +28,15 @@ type SweepOptions struct {
 	// previous error rate along fixed-length continuation chains — a large
 	// iteration saving on monotone p-grids, at identical accuracy.
 	WarmStart bool
+	// Observe, when non-nil, supplies a convergence-trace observer for
+	// point i (p = ps[i]) of a full-space sweep (ThresholdCurveFullWith);
+	// return nil to skip a point. Factories may be called concurrently.
+	// The reduced sweep does not trace and ignores it.
+	Observe func(i int, p float64) SolveObserver
+	// Progress, when non-nil, is called once per finished sweep point with
+	// its solver iteration count and warm-start status. Calls arrive
+	// concurrently from the sweep workers.
+	Progress func(i int, p float64, iters int, warm bool)
 }
 
 // ThresholdCurve sweeps the error rate p over the given values for a
@@ -46,15 +56,56 @@ func ThresholdCurveWith(l Landscape, ps []float64, opts SweepOptions) ([]Thresho
 	}
 	pts, _, err := harness.ThresholdSweepOpts(l.l, ps, harness.SweepOptions{
 		Workers: normalizeSweepWorkers(opts.Workers), WarmStart: opts.WarmStart,
+		Progress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return convertThresholdPoints(pts), nil
+}
+
+// ThresholdCurveFullWith sweeps the error rate with full 2^ν Pi(Fmmp)
+// solves instead of the exact class reduction — the path that exercises
+// the instrumented solver core end to end (butterfly kernels, power
+// iterations, warm-start continuation) and therefore the one behind
+// qs-threshold's -full mode. Works for any landscape; convergence traces
+// attach via opts.Observe.
+func ThresholdCurveFullWith(l Landscape, ps []float64, opts SweepOptions) ([]ThresholdPoint, error) {
+	if !l.valid() {
+		return nil, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
+	}
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	q, err := mutation.NewUniform(l.ChainLen(), ps[0])
+	if err != nil {
+		return nil, fmt.Errorf("quasispecies: %w", err)
+	}
+	hopts := harness.SweepOptions{
+		Workers: normalizeSweepWorkers(opts.Workers), WarmStart: opts.WarmStart,
+		Progress: opts.Progress,
+	}
+	if opts.Observe != nil {
+		hopts.Observe = func(i int, p float64) core.Observer {
+			if o := opts.Observe(i, p); o != nil {
+				return o
+			}
+			return nil // avoid a non-nil interface wrapping a nil observer
+		}
+	}
+	pts, _, err := harness.ThresholdSweepFullOpts(q, l.l, ps, hopts)
+	if err != nil {
+		return nil, err
+	}
+	return convertThresholdPoints(pts), nil
+}
+
+func convertThresholdPoints(pts []harness.ThresholdPoint) []ThresholdPoint {
 	out := make([]ThresholdPoint, len(pts))
 	for i, pt := range pts {
 		out[i] = ThresholdPoint{P: pt.P, Gamma: pt.Gamma}
 	}
-	return out, nil
+	return out
 }
 
 // LocateErrorThreshold bisects the critical error rate p_max at which the
