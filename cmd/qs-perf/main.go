@@ -1,0 +1,260 @@
+// Command qs-perf maintains the repository's performance ledger
+// (results/PERF_ledger.jsonl): profiled runs of a fixed benchmark solve with
+// their per-phase span breakdown, appended over time so performance work is
+// measured against a recorded baseline instead of memory.
+//
+//	qs-perf record                # run the workload, append a ledger entry
+//	qs-perf list                  # show the ledger
+//	qs-perf compare               # benchstat-style table of the last two entries
+//	qs-perf check                 # run the workload, gate against the baseline
+//
+// `check` exits nonzero when a phase's share of wall time grew by more than
+// -threshold (default 25%) over the last recorded entry with the same label.
+// Share-of-wall is compared, not absolute seconds, so a baseline recorded on
+// a fast workstation still gates a slow CI runner; -absolute switches to
+// raw seconds for same-machine comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	quasispecies "repro"
+	"repro/internal/harness"
+	"repro/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, argv := os.Args[1], os.Args[2:]; cmd {
+	case "record":
+		err = runRecord(argv)
+	case "check":
+		err = runCheck(argv)
+	case "compare":
+		err = runCompare(argv)
+	case "list":
+		err = runList(argv)
+	case "help", "-h", "-help", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "qs-perf: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qs-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: qs-perf <command> [flags]
+
+commands:
+  record    run the benchmark workload and append the result to the ledger
+  check     run the workload and gate it against the last ledger baseline
+  compare   print a per-phase comparison of the last two ledger entries
+  list      print the ledger entries
+
+run 'qs-perf <command> -h' for the command's flags
+`)
+}
+
+// workload is the fixed benchmark configuration a ledger label identifies.
+type workload struct {
+	nu      int
+	p       float64
+	reps    int
+	workers int
+	ledger  string
+	label   string
+}
+
+func workloadFlags(fs *flag.FlagSet) *workload {
+	w := &workload{}
+	fs.IntVar(&w.nu, "nu", 14, "chain length ν of the benchmark solve")
+	fs.Float64Var(&w.p, "p", 0.01, "error rate of the benchmark solve")
+	fs.IntVar(&w.reps, "reps", 3, "repetitions (the fastest is recorded)")
+	fs.IntVar(&w.workers, "workers", 1, "compute workers (1 = serial)")
+	fs.StringVar(&w.ledger, "ledger", perf.DefaultLedgerPath, "ledger file")
+	fs.StringVar(&w.label, "label", "", "ledger label (default derived from the workload)")
+	return w
+}
+
+func (w *workload) resolveLabel() string {
+	if w.label == "" {
+		w.label = fmt.Sprintf("singlepeak-nu%d-p%g-fmmp-w%d", w.nu, w.p, w.workers)
+	}
+	return w.label
+}
+
+// measure runs the workload reps times under a span profile and returns the
+// fastest repetition as a ledger record (best-of discards scheduler noise
+// and cold caches; the phase shares of the fastest run are the cleanest).
+func measure(w *workload) (perf.Record, error) {
+	l, err := quasispecies.SinglePeak(w.nu, 2, 1)
+	if err != nil {
+		return perf.Record{}, err
+	}
+	mut, err := quasispecies.UniformMutation(w.nu, w.p)
+	if err != nil {
+		return perf.Record{}, err
+	}
+	model, err := quasispecies.New(mut, l,
+		quasispecies.WithMethod(quasispecies.MethodFmmp),
+		quasispecies.WithWorkers(w.workers))
+	if err != nil {
+		return perf.Record{}, err
+	}
+
+	var best perf.Record
+	for r := 0; r < w.reps; r++ {
+		prof := quasispecies.StartSpanProfile(0)
+		sol, err := model.Solve()
+		prof.Stop()
+		if err != nil {
+			return perf.Record{}, fmt.Errorf("rep %d: %w", r+1, err)
+		}
+		wall := prof.Wall().Seconds()
+		if r > 0 && wall >= best.WallSeconds {
+			continue
+		}
+		phases := prof.Phases()
+		rec := perf.Record{
+			Label: w.resolveLabel(), Nu: w.nu, P: w.p, Method: "fmmp",
+			Reps: w.reps, WallSeconds: wall,
+			Iterations: sol.Iterations, Lambda: sol.Lambda,
+			Phases: make([]perf.PhaseStat, len(phases)),
+		}
+		for i, ph := range phases {
+			rec.Phases[i] = perf.PhaseStat{
+				Layer: ph.Layer, Name: ph.Name, Count: ph.Count,
+				TotalSeconds: ph.Total.Seconds(), SelfSeconds: ph.Self.Seconds(),
+			}
+		}
+		best = rec
+	}
+	best.Time = time.Now().UTC().Format(time.RFC3339)
+	best.Rev = perf.GitRev(".")
+	best.Host = harness.CollectHostInfo()
+	return best, nil
+}
+
+func runRecord(argv []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	w := workloadFlags(fs)
+	fs.Parse(argv)
+	rec, err := measure(w)
+	if err != nil {
+		return err
+	}
+	if err := perf.Append(w.ledger, rec); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: wall %.4gs, %d iterations, %d phases → %s\n",
+		rec.Label, rec.WallSeconds, rec.Iterations, len(rec.Phases), w.ledger)
+	return nil
+}
+
+func runCheck(argv []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	w := workloadFlags(fs)
+	threshold := fs.Float64("threshold", 0.25, "relative phase growth that fails the check")
+	absolute := fs.Bool("absolute", false, "gate absolute seconds instead of share-of-wall (same-machine baselines only)")
+	update := fs.Bool("update", false, "also append the measured run to the ledger")
+	fs.Parse(argv)
+
+	recs, err := perf.Read(w.ledger)
+	if err != nil {
+		return err
+	}
+	base, ok := perf.Latest(recs, w.resolveLabel())
+	cur, merr := measure(w)
+	if merr != nil {
+		return merr
+	}
+	if *update {
+		if err := perf.Append(w.ledger, cur); err != nil {
+			return err
+		}
+	}
+	if !ok {
+		fmt.Printf("no baseline for %q in %s — run 'qs-perf record' first; nothing to gate\n",
+			w.label, w.ledger)
+		return nil
+	}
+	if err := perf.FormatCompare(os.Stdout, base, cur); err != nil {
+		return err
+	}
+	violations := perf.Gate(base, cur, perf.GateOptions{
+		Threshold: *threshold, AbsoluteSeconds: *absolute,
+	})
+	if len(violations) == 0 {
+		fmt.Printf("OK: no phase regressed more than %.0f%% against the %s baseline\n",
+			*threshold*100, base.Time)
+		return nil
+	}
+	fmt.Printf("REGRESSION: %d phase(s) exceeded the %.0f%% threshold:\n", len(violations), *threshold*100)
+	for _, v := range violations {
+		fmt.Println("  ", v.String())
+	}
+	os.Exit(1)
+	return nil
+}
+
+func runCompare(argv []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	ledger := fs.String("ledger", perf.DefaultLedgerPath, "ledger file")
+	label := fs.String("label", "", "compare the last two entries with this label (default: any)")
+	fs.Parse(argv)
+	recs, err := perf.Read(*ledger)
+	if err != nil {
+		return err
+	}
+	var matched []perf.Record
+	for _, r := range recs {
+		if *label == "" || r.Label == *label {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) < 2 {
+		return fmt.Errorf("need at least two ledger entries to compare, have %d", len(matched))
+	}
+	return perf.FormatCompare(os.Stdout, matched[len(matched)-2], matched[len(matched)-1])
+}
+
+func runList(argv []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	ledger := fs.String("ledger", perf.DefaultLedgerPath, "ledger file")
+	fs.Parse(argv)
+	recs, err := perf.Read(*ledger)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Printf("ledger %s is empty\n", *ledger)
+		return nil
+	}
+	fmt.Printf("%-20s %-9s %-32s %10s %8s %s\n", "time", "rev", "label", "wall[s]", "iters", "host")
+	for _, r := range recs {
+		fmt.Printf("%-20s %-9s %-32s %10.4g %8d %s/%s ncpu=%d\n",
+			r.Time, orDash(r.Rev), r.Label, r.WallSeconds, r.Iterations,
+			r.Host.GOOS, r.Host.GOARCH, r.Host.NumCPU)
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

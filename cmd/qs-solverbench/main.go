@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	quasispecies "repro"
 	"repro/internal/device"
 	"repro/internal/harness"
 	"repro/internal/mutation"
@@ -60,15 +61,35 @@ func main() {
 		points     = flag.Int("points", 16, "sweep points for -sweep")
 		sweepSigma = flag.Float64("sweep-sigma", 2, "single-peak superiority f0/f1 for -sweep")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+		spans      = flag.Bool("spans", false, "profile the run with hierarchical spans and print the per-phase time table to stderr")
+		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
 	)
 	flag.Parse()
 	if *tile > 0 {
 		mutation.SetTileBits(*tile)
 	}
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
+		srv, err := obs.StartDebugServer(*debugAddr)
 		exitOn(err)
-		fmt.Fprintf(os.Stderr, "qs-solverbench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qs-solverbench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if *spans || *spanOut != "" {
+		sprof := quasispecies.StartSpanProfile(0)
+		defer func() {
+			sprof.Stop()
+			fmt.Fprintln(os.Stderr, "qs-solverbench: span profile (per-phase times):")
+			if err := sprof.WriteTable(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "qs-solverbench:", err)
+			}
+			if *spanOut != "" {
+				if err := sprof.WriteChromeTraceFile(*spanOut); err != nil {
+					fmt.Fprintln(os.Stderr, "qs-solverbench:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "qs-solverbench: span timeline written to %s (open in ui.perfetto.dev)\n", *spanOut)
+				}
+			}
+		}()
 	}
 
 	w := bufio.NewWriter(os.Stdout)

@@ -46,13 +46,19 @@ func main() {
 		traceFile  = flag.String("trace", "", "write per-point convergence traces to this file (.tsv or .jsonl; requires -full)")
 		traceEvery = flag.Int("trace-every", 1, "keep every Nth residual check per point in the trace")
 		progress   = flag.Bool("progress", false, "print one line per solved point to stderr")
+		spans      = flag.Bool("spans", false, "profile the sweep with hierarchical spans and print the per-phase time table (requires -full)")
+		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
 	)
 	flag.Parse()
 
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
+		srv, err := obs.StartDebugServer(*debugAddr)
 		exitOn(err)
-		fmt.Fprintf(os.Stderr, "qs-threshold: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qs-threshold: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if (*spans || *spanOut != "") && !*full {
+		exitOn(fmt.Errorf("-spans profiles the full-space solver; add -full (the class reduction has no instrumented phases)"))
 	}
 	if *traceFile != "" && !*full {
 		exitOn(fmt.Errorf("-trace records full-space convergence traces; add -full (the class reduction is exact and does not iterate per point)"))
@@ -113,11 +119,29 @@ func main() {
 		}
 	}
 
+	var sprof *quasispecies.SpanProfile
+	if *spans || *spanOut != "" {
+		sprof = quasispecies.StartSpanProfile(0)
+	}
 	var pts []quasispecies.ThresholdPoint
 	if *full {
 		pts, err = quasispecies.ThresholdCurveFullWith(l, ps, opts)
 	} else {
 		pts, err = quasispecies.ThresholdCurveWith(l, ps, opts)
+	}
+	if sprof != nil {
+		sprof.Stop()
+		fmt.Fprintln(os.Stderr, "qs-threshold: span profile (per-phase times):")
+		if werr := sprof.WriteTable(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "qs-threshold:", werr)
+		}
+		if *spanOut != "" {
+			if werr := sprof.WriteChromeTraceFile(*spanOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "qs-threshold:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "qs-threshold: span timeline written to %s (open in ui.perfetto.dev)\n", *spanOut)
+			}
+		}
 	}
 	if trace != nil {
 		// Write the trace even on failure: a stagnation trace of the point

@@ -44,13 +44,16 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 		traceFile  = flag.String("trace", "", "write the solve's convergence trace to this file (.tsv or .jsonl)")
 		traceEvery = flag.Int("trace-every", 1, "keep every Nth residual check in the trace")
+		spans      = flag.Bool("spans", false, "profile the solve with hierarchical spans and print the per-phase time table")
+		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans; load in Perfetto)")
 	)
 	flag.Parse()
 
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
+		srv, err := obs.StartDebugServer(*debugAddr)
 		exitOn(err)
-		fmt.Fprintf(os.Stderr, "qsolve: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qsolve: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 
 	if *load != "" {
@@ -96,8 +99,28 @@ func main() {
 	model, err := quasispecies.New(mut, l, modelOpts...)
 	exitOn(err)
 
+	var sprof *quasispecies.SpanProfile
+	if *spans || *spanOut != "" {
+		sprof = quasispecies.StartSpanProfile(0)
+	}
 	start := time.Now()
 	sol, err := model.Solve()
+	if sprof != nil {
+		sprof.Stop()
+		// Like the convergence trace, the profile is reported even when the
+		// solve failed — where the time went is most interesting then.
+		fmt.Fprintln(os.Stderr, "\nspan profile (per-phase times):")
+		if werr := sprof.WriteTable(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "qsolve:", werr)
+		}
+		if *spanOut != "" {
+			if werr := sprof.WriteChromeTraceFile(*spanOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "qsolve:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "qsolve: span timeline written to %s (open in ui.perfetto.dev)\n", *spanOut)
+			}
+		}
+	}
 	if trace != nil {
 		// Write the trace even when the solve failed — a stagnation trace
 		// is exactly what the file is for.

@@ -30,6 +30,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/span"
+)
+
+// Batch-layer span names (internal/span): SpanRun covers a whole Run call,
+// SpanTask one task execution (its End args are slot and task index, so the
+// exported trace shows slot occupancy over time).
+const (
+	SpanRun  = "run"
+	SpanTask = "task"
 )
 
 // Observer receives scheduler lifecycle callbacks: run boundaries and
@@ -129,6 +139,11 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 		workers = n
 	}
 	h := schedObs.Load()
+	sr := span.Installed()
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerBatch, SpanRun)
+	}
 	if h != nil {
 		h.o.RunStart(n, workers)
 		defer func(start time.Time) { h.o.RunDone(n, time.Since(start)) }(time.Now())
@@ -140,11 +155,12 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 		var firstErr error
 		firstIdx := n
 		for i := 0; i < n; i++ {
-			err := runOne(h, task, i, s)
+			err := runOne(h, sr, task, i, s)
 			if err != nil && i < firstIdx {
 				firstErr, firstIdx = fmt.Errorf("batch: task %d: %w", i, err), i
 			}
 		}
+		span.End(sp, int64(n), int64(workers))
 		return firstErr
 	}
 
@@ -167,7 +183,7 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 				if i >= n {
 					return
 				}
-				if err := runOne(h, task, i, slot); err != nil {
+				if err := runOne(h, sr, task, i, slot); err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstErr, firstIdx = fmt.Errorf("batch: task %d: %w", i, err), i
@@ -178,15 +194,26 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 		}(&Slot{id: w})
 	}
 	wg.Wait()
+	span.End(sp, int64(n), int64(workers))
 	return firstErr
 }
 
-// runOne executes task(i, s), bracketed by the observer when installed.
-func runOne(h *observerHook, task func(i int, s *Slot) error, i int, s *Slot) error {
-	if h == nil {
-		return task(i, s)
+// runOne executes task(i, s), bracketed by the observer and a task span
+// when installed. Worker goroutines open their task spans on their own
+// goroutine, so each worker is its own track in the exported trace.
+func runOne(h *observerHook, sr span.Recorder, task func(i int, s *Slot) error, i int, s *Slot) error {
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerBatch, SpanTask)
 	}
-	return h.runTask(task, i, s)
+	var err error
+	if h == nil {
+		err = task(i, s)
+	} else {
+		err = h.runTask(task, i, s)
+	}
+	span.End(sp, int64(s.id), int64(i))
+	return err
 }
 
 // Chain is one contiguous run of sweep points, [Lo, Hi), processed

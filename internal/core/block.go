@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/span"
 	"repro/internal/vec"
 )
 
@@ -191,6 +192,11 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 	}
 
 	sh := solveObs.Load()
+	sr := span.Installed()
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerCore, SolveKindBlockPower)
+	}
 	if sh != nil {
 		sh.o.SolveStart(SolveKindBlockPower, n)
 	}
@@ -205,9 +211,12 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 	bestIter := 0
 	worst := 0.0
 	for iter := 1; iter <= maxIter; iter++ {
+		ph := beginPhase(sr, PhaseMatvec)
 		batchApply(op, W, X)
+		span.End(ph, int64(iter), int64(k))
 		res.Iterations = iter
 		worst = 0.0
+		ph = beginPhase(sr, PhaseResidual)
 		for j := 0; j < k; j++ {
 			theta := vec.Dot(X[j], W[j]) // Rayleigh quotient, ‖X[j]‖₂ = 1
 			res.Lambdas[j] = theta
@@ -221,6 +230,7 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 				worst = res.Residuals[j]
 			}
 		}
+		span.End(ph, int64(iter), int64(k))
 		if sh != nil {
 			sh.o.SolveStep(SolveKindBlockPower, 1)
 		}
@@ -237,8 +247,11 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 			res.Converged = true
 			break
 		}
-		if err := orthonormalize(W); err != nil {
-			powerDone(sh, opts.Observer, SolveKindBlockPower, EventBreakdown, iter, res.Lambdas[0], worst)
+		ph = beginPhase(sr, PhaseOrthonormalize)
+		err := orthonormalize(W)
+		span.End(ph, int64(iter), int64(k))
+		if err != nil {
+			powerDone(sh, sp, opts.Observer, SolveKindBlockPower, EventBreakdown, n, iter, res.Lambdas[0], worst)
 			return res, fmt.Errorf("core: block iteration broke down at step %d: %w", iter, err)
 		}
 		X, W = W, X
@@ -248,14 +261,14 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 	}
 	res.Vectors = X
 	if !res.Converged {
-		powerDone(sh, opts.Observer, SolveKindBlockPower, EventBudgetExhausted, res.Iterations, res.Lambdas[0], worst)
+		powerDone(sh, sp, opts.Observer, SolveKindBlockPower, EventBudgetExhausted, n, res.Iterations, res.Lambdas[0], worst)
 		return res, &ConvergenceError{
 			Reason:     ErrNoConvergence,
 			Iterations: res.Iterations, Residual: maxSlice(res.Residuals), BestResidual: bestWorst,
 			SinceImprovement: res.Iterations - bestIter, Shift: opts.Shift, Tol: tol,
 		}
 	}
-	powerDone(sh, opts.Observer, SolveKindBlockPower, EventConverged, res.Iterations, res.Lambdas[0], worst)
+	powerDone(sh, sp, opts.Observer, SolveKindBlockPower, EventConverged, n, res.Iterations, res.Lambdas[0], worst)
 	return res, nil
 }
 

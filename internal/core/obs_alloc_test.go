@@ -2,9 +2,11 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/landscape"
 	"repro/internal/mutation"
+	"repro/internal/span"
 	"repro/internal/vec"
 )
 
@@ -140,6 +142,94 @@ func TestInstrumentationIsBitIdentical(t *testing.T) {
 	}
 	if ro.events != 2 { // start + converged
 		t.Errorf("observer events = %d, want 2", ro.events)
+	}
+}
+
+// countingSpanHandle / countingSpanRecorder are a minimal span.Recorder for
+// the span bit-identity test.
+type countingSpanHandle struct{ r *countingSpanRecorder }
+
+func (h *countingSpanHandle) End(a1, a2 int64) { h.r.ends++ }
+
+type countingSpanRecorder struct {
+	begins, ends, records int
+	byName                map[string]int
+}
+
+func (r *countingSpanRecorder) Begin(layer, name string) span.Handle {
+	r.begins++
+	if r.byName == nil {
+		r.byName = make(map[string]int)
+	}
+	r.byName[layer+"/"+name]++
+	return &countingSpanHandle{r: r}
+}
+
+func (r *countingSpanRecorder) Record(layer, name string, d time.Duration, a1, a2 int64) {
+	r.records++
+}
+
+// TestSpanRecorderIsBitIdentical runs the same solve bare, under a span
+// recorder, and bare again: spans must only watch, never steer, and the
+// recorder must see the full phase structure.
+func TestSpanRecorderIsBitIdentical(t *testing.T) {
+	op := obsTestOperator(t, 10, 0.02)
+	n := op.Dim()
+	start := make([]float64, n)
+	vec.Fill(start, 1)
+	l, err := landscape.NewSinglePeak(10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := ConservativeShift(mutation.MustUniform(10, 0.02), l)
+
+	solve := func() PowerResult {
+		res, err := PowerIteration(op, PowerOptions{Tol: 1e-11, Start: start, Shift: mu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res
+		out.Vector = append([]float64(nil), res.Vector...)
+		return out
+	}
+
+	bare := solve()
+
+	sr := &countingSpanRecorder{}
+	span.SetRecorder(sr)
+	spanned := solve()
+	span.SetRecorder(nil)
+
+	bareAgain := solve()
+
+	for name, got := range map[string]PowerResult{"spanned": spanned, "bare-again": bareAgain} {
+		if got.Lambda != bare.Lambda || got.Iterations != bare.Iterations || got.Residual != bare.Residual {
+			t.Errorf("%s solve diverged: λ %v vs %v, iters %d vs %d, residual %v vs %v",
+				name, got.Lambda, bare.Lambda, got.Iterations, bare.Iterations, got.Residual, bare.Residual)
+		}
+		for i := range got.Vector {
+			if got.Vector[i] != bare.Vector[i] {
+				t.Fatalf("%s solve: vector component %d differs bitwise", name, i)
+			}
+		}
+	}
+	if sr.begins == 0 || sr.begins != sr.ends {
+		t.Errorf("span recorder saw begins=%d ends=%d, want equal and nonzero", sr.begins, sr.ends)
+	}
+	iters := spanned.Iterations
+	if got := sr.byName["core/power"]; got != 1 {
+		t.Errorf("solve spans = %d, want 1", got)
+	}
+	for phase, want := range map[string]int{
+		PhaseMatvec: iters, PhaseShift: iters, PhaseRayleigh: iters,
+		PhaseResidual: iters, PhaseNormalize: iters - 1, // the converged iteration never normalizes
+	} {
+		if got := sr.byName["core/"+phase]; got != want {
+			t.Errorf("%s spans = %d, want %d", phase, got, want)
+		}
+	}
+	if got := sr.byName["mutation/apply"]; got != iters {
+		t.Errorf("mutation apply spans = %d, want %d", got, iters)
 	}
 }
 

@@ -47,10 +47,25 @@ const (
 	EventAborted = "aborted"
 )
 
-// Solve kinds reported to the SolveObserver.
+// Solve kinds reported to the SolveObserver. The span profiler reuses them
+// as the names of the core-layer solve spans.
 const (
 	SolveKindPower      = "power"
 	SolveKindBlockPower = "block_power"
+)
+
+// Iteration phase names reported as core-layer spans (internal/span) inside
+// a solve span: one span per phase per iteration while a recorder is
+// installed, nothing otherwise. These are the rows of the per-phase time
+// table — the breakdown the paper's cost model talks about (matvec
+// dominates; the BLAS-1 phases are the O(N) overhead around it).
+const (
+	PhaseMatvec         = "matvec"
+	PhaseShift          = "shift"
+	PhaseRayleigh       = "rayleigh"
+	PhaseResidual       = "residual"
+	PhaseNormalize      = "normalize"
+	PhaseOrthonormalize = "orthonormalize"
 )
 
 // SolveObserver is the process-wide eigensolver metrics hook. SolveStep

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/landscape"
 	"repro/internal/mutation"
+	"repro/internal/span"
 	"repro/internal/vec"
 )
 
@@ -155,7 +156,15 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 		return PowerResult{}, errors.New("core: start vector is zero")
 	}
 	scale(dev, x, 1/nrm)
+	// Both hooks are hoisted: one atomic load each per solve, then plain
+	// nil checks in the loop. The solve span closes in powerDone so every
+	// exit path ends it without a deferred closure (which would allocate).
 	sh := solveObs.Load()
+	sr := span.Installed()
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerCore, SolveKindPower)
+	}
 	if sh != nil {
 		sh.o.SolveStart(SolveKindPower, n)
 	}
@@ -168,18 +177,26 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 	lastCheck := 0
 	stalled := 0
 	for iter := 1; iter <= maxIter; iter++ {
+		ph := beginPhase(sr, PhaseMatvec)
 		op.Apply(w, x)
+		span.End(ph, int64(iter), 0)
 		if mu != 0 {
+			ph = beginPhase(sr, PhaseShift)
 			axpyInto(dev, -mu, x, w) // w ← (W − µI)·x
+			span.End(ph, int64(iter), 0)
 		}
 		res.Iterations = iter
 		// Rayleigh quotient of the *shifted* operator for unit x.
+		ph = beginPhase(sr, PhaseRayleigh)
 		lamShifted := dot(dev, x, w)
+		span.End(ph, int64(iter), 0)
 		res.Lambda = lamShifted + mu
 		if iter%checkEvery == 0 || iter == maxIter {
 			// Residual of the shifted pair equals that of the unshifted
 			// pair: Wx − λx = (W−µI)x − (λ−µ)x.
+			ph = beginPhase(sr, PhaseResidual)
 			r := residual(dev, w, x, lamShifted)
+			span.End(ph, int64(iter), 0)
 			res.Residual = r
 			if sh != nil {
 				sh.o.SolveStep(SolveKindPower, iter-lastCheck)
@@ -197,7 +214,7 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 			}
 			if opts.Monitor != nil && !opts.Monitor(iter, res.Lambda, r) {
 				finish(dev, &res, x)
-				powerDone(sh, opts.Observer, SolveKindPower, EventAborted, iter, res.Lambda, r)
+				powerDone(sh, sp, opts.Observer, SolveKindPower, EventAborted, n, iter, res.Lambda, r)
 				return res, &ConvergenceError{
 					Reason: ErrNoConvergence, Detail: fmt.Sprintf("aborted by monitor at iteration %d", iter),
 					Iterations: iter, Residual: r, BestResidual: bestResidual,
@@ -207,12 +224,12 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 			if r <= tol {
 				res.Converged = true
 				finish(dev, &res, x)
-				powerDone(sh, opts.Observer, SolveKindPower, EventConverged, iter, res.Lambda, r)
+				powerDone(sh, sp, opts.Observer, SolveKindPower, EventConverged, n, iter, res.Lambda, r)
 				return res, nil
 			}
 			if stallChecks > 0 && stalled >= stallChecks {
 				finish(dev, &res, x)
-				powerDone(sh, opts.Observer, SolveKindPower, EventStagnated, iter, res.Lambda, r)
+				powerDone(sh, sp, opts.Observer, SolveKindPower, EventStagnated, n, iter, res.Lambda, r)
 				return res, &ConvergenceError{
 					Reason:     ErrStagnated,
 					Iterations: iter, Residual: r, BestResidual: bestResidual,
@@ -220,10 +237,12 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 				}
 			}
 		}
+		ph = beginPhase(sr, PhaseNormalize)
 		nrm = norm2(dev, w)
 		if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+			span.End(ph, int64(iter), 0)
 			finish(dev, &res, x)
-			powerDone(sh, opts.Observer, SolveKindPower, EventBreakdown, iter, res.Lambda, res.Residual)
+			powerDone(sh, sp, opts.Observer, SolveKindPower, EventBreakdown, n, iter, res.Lambda, res.Residual)
 			return res, fmt.Errorf("core: iteration broke down at step %d (‖w‖ = %g)", iter, nrm)
 		}
 		inv := 1 / nrm
@@ -244,9 +263,10 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 				x[i] = w[i] * inv
 			}
 		}
+		span.End(ph, int64(iter), 0)
 	}
 	finish(dev, &res, x)
-	powerDone(sh, opts.Observer, SolveKindPower, EventBudgetExhausted, res.Iterations, res.Lambda, res.Residual)
+	powerDone(sh, sp, opts.Observer, SolveKindPower, EventBudgetExhausted, n, res.Iterations, res.Lambda, res.Residual)
 	return res, &ConvergenceError{
 		Reason:     ErrNoConvergence,
 		Iterations: res.Iterations, Residual: res.Residual, BestResidual: bestResidual,
@@ -254,14 +274,26 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 	}
 }
 
-// powerDone emits the end-of-solve notifications to both hook mechanisms.
-func powerDone(sh *solveHook, obs Observer, kind, outcome string, iter int, lambda, residual float64) {
+// powerDone emits the end-of-solve notifications to all three hook
+// mechanisms, closing the solve span last so the observer callbacks are
+// charged to it. sp is nil when spans were disabled at solve start.
+func powerDone(sh *solveHook, sp span.Handle, obs Observer, kind, outcome string, dim, iter int, lambda, residual float64) {
 	if obs != nil {
 		obs.Event(outcome, iter, lambda, residual)
 	}
 	if sh != nil {
 		sh.o.SolveDone(kind, iter, residual, outcome)
 	}
+	span.End(sp, int64(dim), int64(iter))
+}
+
+// beginPhase opens a core-layer phase span when a recorder was installed at
+// solve start; the disabled path is a single nil check, no calls.
+func beginPhase(sr span.Recorder, name string) span.Handle {
+	if sr == nil {
+		return nil
+	}
+	return sr.Begin(span.LayerCore, name)
 }
 
 func finish(dev *device.Device, res *PowerResult, x []float64) {

@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/span"
 )
 
 // Device executes data-parallel kernels over worker goroutines. A Device is
@@ -159,17 +161,33 @@ func (d *Device) LaunchStages(stages, n, weight int, kernel func(lo, hi int)) {
 }
 
 // run executes a planned launch with the configured dispatch. kind is the
-// launch family reported to an installed LaunchObserver; with no observer
-// the only instrumentation cost is the atomic hook load.
+// launch family reported to an installed LaunchObserver and the name of the
+// device-layer span; with neither hook installed the only instrumentation
+// cost is the two atomic loads.
 func (d *Device) run(kind string, n, chunk, nchunks int, kernel func(lo, hi int)) {
 	h := launchObs.Load()
-	if h == nil {
+	sr := span.Installed()
+	if h == nil && sr == nil {
 		d.dispatch(n, chunk, nchunks, kernel, false)
 		return
 	}
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerDevice, kind)
+	}
 	start := time.Now()
 	wait := d.dispatch(n, chunk, nchunks, kernel, true)
-	h.o.Launch(kind, n, nchunks, time.Since(start), wait)
+	if sr != nil {
+		// The barrier tail is reported post hoc inside the still-open
+		// launch span, so it shows as the launch's child in the profile.
+		if wait > 0 {
+			sr.Record(span.LayerDevice, SpanQueueWait, wait, int64(nchunks), 0)
+		}
+		span.End(sp, int64(n), int64(nchunks))
+	}
+	if h != nil {
+		h.o.Launch(kind, n, nchunks, time.Since(start), wait)
+	}
 }
 
 // dispatch runs a planned launch; with measureWait it returns the barrier

@@ -9,12 +9,17 @@ import (
 // disabled cost per launch is one atomic pointer load. internal/obs
 // installs an observer that feeds the qs_device_* metric families.
 
-// Launch kinds reported to the LaunchObserver.
+// Launch kinds reported to the LaunchObserver. The span profiler reuses
+// them as the names of the device-layer launch spans.
 const (
 	LaunchKindRange  = "range"  // Launch / LaunchRange dispatches
 	LaunchKindStages = "stages" // fused stage-group dispatches (LaunchStages)
 	LaunchKindReduce = "reduce" // reduction launches
 )
+
+// SpanQueueWait is the device-layer span reported post hoc for the barrier
+// tail the submitting goroutine spent blocked on pool workers.
+const SpanQueueWait = "queue_wait"
 
 // LaunchObserver receives one callback per completed kernel launch that
 // actually dispatched (n > 0, after planning). total is the wall time of

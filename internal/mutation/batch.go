@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/span"
 )
 
 // This file implements the multi-vector form of the fast mutation matrix
@@ -39,6 +40,7 @@ func (q *Process) ApplyBatch(vs [][]float64) {
 		q.Apply(vs[0])
 		return
 	}
+	sp := span.Begin(span.LayerMutation, KindApplyBatch)
 	if h := kernelObs.Load(); h != nil {
 		defer h.span(KindApplyBatch, q.nu, len(vs), time.Now())
 	}
@@ -54,6 +56,7 @@ func (q *Process) ApplyBatch(vs [][]float64) {
 			}
 		}
 	}
+	span.End(sp, int64(q.nu), int64(len(vs)))
 }
 
 // ApplyBatchDevice is ApplyBatch on the device runtime: each fused stage
@@ -72,6 +75,7 @@ func (q *Process) ApplyBatchDevice(d *device.Device, vs [][]float64) {
 		q.ApplyDevice(d, vs[0])
 		return
 	}
+	sp := span.Begin(span.LayerMutation, KindApplyBatchDevice)
 	if h := kernelObs.Load(); h != nil {
 		defer h.span(KindApplyBatchDevice, q.nu, len(vs), time.Now())
 	}
@@ -85,6 +89,7 @@ func (q *Process) ApplyBatchDevice(d *device.Device, vs [][]float64) {
 			}
 		}
 	}
+	span.End(sp, int64(q.nu), int64(len(vs)))
 }
 
 // applyStagesBlockedBatch is applyStagesBlocked over K vectors with the

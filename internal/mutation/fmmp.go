@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/span"
 )
 
 // This file implements the paper's central contribution: the fast mutation
@@ -25,6 +26,11 @@ import (
 func (q *Process) Apply(v []float64) {
 	q.checkDim(len(v))
 	h := kernelObs.Load()
+	sr := span.Installed()
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerMutation, KindApply)
+	}
 	if h != nil {
 		defer h.span(KindApply, q.nu, 1, time.Now())
 	}
@@ -34,18 +40,25 @@ func (q *Process) Apply(v []float64) {
 		if h != nil {
 			t0 = time.Now()
 		}
+		var gsp span.Handle
+		if sr != nil {
+			gsp = sr.Begin(span.LayerMutation, KindStageGroup)
+		}
 		if s.grp < 0 {
 			applyStagesBlocked(v, s.off0, s.fs, tb, fuseStages)
+			span.End(gsp, int64(len(s.fs)), 1)
 			if h != nil {
 				h.span(KindStageGroup, len(s.fs), 1, t0)
 			}
 		} else {
 			q.applyGroupSerial(q.groups[s.grp], v)
+			span.End(gsp, int64(q.groups[s.grp].bitsLen), 1)
 			if h != nil {
 				h.span(KindStageGroup, q.groups[s.grp].bitsLen, 1, t0)
 			}
 		}
 	}
+	span.End(sp, int64(q.nu), 1)
 }
 
 // ApplyNaive computes v ← Q·v with the literal stage loop of Algorithm 1:
@@ -115,6 +128,7 @@ func (q *Process) recurse(v []float64, level int) []float64 {
 func (q *Process) ApplyDevice(d *device.Device, v []float64) {
 	q.checkDim(len(v))
 	h := kernelObs.Load()
+	sp := span.Begin(span.LayerMutation, KindApplyDevice)
 	if h != nil {
 		defer h.span(KindApplyDevice, q.nu, 1, time.Now())
 	}
@@ -126,6 +140,7 @@ func (q *Process) ApplyDevice(d *device.Device, v []float64) {
 			q.applyGroupDevice(d, q.groups[s.grp], v)
 		}
 	}
+	span.End(sp, int64(q.nu), 1)
 }
 
 // ApplyDeviceNaive computes v ← Q·v with the literal device-parallel

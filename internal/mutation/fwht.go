@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/device"
+	"repro/internal/span"
 )
 
 // This file implements the spectral machinery of Section 2: the fast
@@ -282,11 +283,13 @@ func (q *Process) ApplyInverse(v []float64) {
 	if q.p >= 0.5 {
 		panic("mutation: Q is singular at p = 1/2; ApplyInverse undefined")
 	}
+	sp := span.Begin(span.LayerMutation, KindApplyInverse)
 	applyStagesBlocked(v, 0, q.invFactors, TileBits(), fuseStages)
 	scale := math.Pow(1-2*q.p, -float64(q.nu))
 	for i := range v {
 		v[i] *= scale
 	}
+	span.End(sp, int64(q.nu), 1)
 }
 
 // fillShiftInvertSpectrum fills q.siInv with (Λ−µI)⁻¹ per Hamming weight,
@@ -320,6 +323,7 @@ func (q *Process) ApplyShiftInvert(v []float64, mu float64) error {
 	if err := q.fillShiftInvertSpectrum(mu); err != nil {
 		return err
 	}
+	sp := span.Begin(span.LayerMutation, KindShiftInvert)
 	inv := q.siInv
 	FWHT(v)
 	scale := 1 / float64(q.n) // the two 2^(−ν/2) factors of V·…·V combined
@@ -327,6 +331,7 @@ func (q *Process) ApplyShiftInvert(v []float64, mu float64) error {
 		v[i] *= inv[bits.Weight(uint64(i))] * scale
 	}
 	FWHT(v)
+	span.End(sp, int64(q.nu), 1)
 	return nil
 }
 
@@ -338,6 +343,7 @@ func (q *Process) ApplyShiftInvertDevice(d *device.Device, v []float64, mu float
 	if err := q.fillShiftInvertSpectrum(mu); err != nil {
 		return err
 	}
+	sp := span.Begin(span.LayerMutation, KindShiftInvert)
 	inv := q.siInv
 	FWHTDevice(d, v)
 	scale := 1 / float64(q.n)
@@ -347,6 +353,7 @@ func (q *Process) ApplyShiftInvertDevice(d *device.Device, v []float64, mu float
 		}
 	})
 	FWHTDevice(d, v)
+	span.End(sp, int64(q.nu), 1)
 	return nil
 }
 

@@ -11,13 +11,16 @@ import (
 // alloc/bit-identity tests). internal/obs installs an observer that feeds
 // the qs_kernel_* metric families.
 
-// Kernel pass kinds reported to the KernelObserver.
+// Kernel pass kinds reported to the KernelObserver. The span profiler
+// reuses them as the names of the mutation-layer spans.
 const (
 	KindApply            = "apply"              // Process.Apply (serial blocked)
 	KindApplyDevice      = "apply_device"       // Process.ApplyDevice
 	KindApplyBatch       = "apply_batch"        // Process.ApplyBatch
 	KindApplyBatchDevice = "apply_batch_device" // Process.ApplyBatchDevice
 	KindStageGroup       = "stage_group"        // one fused stage-group pass within an Apply
+	KindApplyInverse     = "apply_inverse"      // Process.ApplyInverse
+	KindShiftInvert      = "shift_invert"       // Process.ApplyShiftInvert[Device]
 )
 
 // KernelObserver receives one callback per completed kernel span. For the

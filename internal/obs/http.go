@@ -41,24 +41,40 @@ func publishExpvar() {
 	})
 }
 
+// DebugServer is a running debug HTTP server. Close releases its listener
+// and in-flight connections; earlier versions leaked the listener for the
+// life of the process, which made repeated starts in one process (tests,
+// embedding programs) accumulate sockets.
+type DebugServer struct {
+	addr string
+	srv  *http.Server
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Close shuts the server down, closing the listener and any active
+// connections. Safe to call more than once.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
 // Serve starts the debug HTTP server on addr (host:port; port 0 picks a
-// free port) and returns the bound address. The server runs for the
-// remainder of the process.
-func Serve(addr string) (string, error) {
+// free port). The caller owns the returned server and should Close it when
+// done; tools that serve for the life of the process may ignore it.
+func Serve(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	publishExpvar()
 	srv := &http.Server{Handler: Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return &DebugServer{addr: ln.Addr().String(), srv: srv}, nil
 }
 
 // StartDebugServer is the one-call tool entry point behind the shared
 // -debug-addr flag: it installs the solver metric hooks (EnableSolverMetrics)
-// and starts the debug server, returning the bound address.
-func StartDebugServer(addr string) (string, error) {
+// and starts the debug server.
+func StartDebugServer(addr string) (*DebugServer, error) {
 	EnableSolverMetrics()
 	return Serve(addr)
 }

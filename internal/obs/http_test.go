@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"testing"
+)
+
+// TestDebugServerCloseReleasesListener guards the shutdown handle: Close
+// must actually release the socket (the old API leaked the listener for the
+// life of the process), be idempotent, and leave the port rebindable.
+func TestDebugServerCloseReleasesListener(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("server not reachable before Close: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	if conn, err := net.Dial("tcp", srv.Addr()); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting connections after Close")
+	}
+	ln, err := net.Listen("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+}

@@ -72,8 +72,13 @@ type Histogram struct {
 	sum    atomic.Uint64 // float64 bits
 }
 
-// Observe records v.
+// Observe records v. NaN observations are dropped: they would land in the
+// +Inf bucket but poison the sum, so every later scrape of _sum would read
+// NaN and rate() over the series would be empty.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
@@ -86,8 +91,16 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// ObserveSince records the seconds elapsed since start.
-func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+// ObserveSince records the seconds elapsed since start, clamped at zero:
+// a wall-clock step backwards (NTP slew, VM migration) must not push a
+// duration histogram's sum below its buckets' implied minimum.
+func (h *Histogram) ObserveSince(start time.Time) {
+	d := time.Since(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(d.Seconds())
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -284,6 +297,31 @@ func joinLabels(labels string) string {
 }
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// EscapeLabel escapes a label value for the Prometheus text exposition
+// format: backslash, double quote and newline must be written as \\, \"
+// and \n inside the quoted value. Use it when building labeled metric
+// names from run-time strings (landscape names, file paths).
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
 
 // Snapshot returns a flat name→value map of the registry, the form
 // published under /debug/vars. Histograms appear as {count, sum}.

@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -71,6 +74,101 @@ func TestHistogramBuckets(t *testing.T) {
 		if !strings.Contains(out, line) {
 			t.Errorf("exposition missing %q:\n%s", line, out)
 		}
+	}
+}
+
+// TestPrometheusExpositionConformance pins the exposition details scrapers
+// depend on: the +Inf bucket equals _count exactly, bucket counts are
+// cumulative (monotonically non-decreasing down the ladder), and per-series
+// lines for a labeled histogram carry the label on every _bucket/_sum/_count.
+func TestPrometheusExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat_seconds{op="solve"}`, "latency", []float64{0.25, 0.5})
+	for _, v := range []float64{0.1, 0.3, 0.3, 0.7, 9} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{op="solve",le="0.25"} 1`,
+		`lat_seconds_bucket{op="solve",le="0.5"} 3`,
+		`lat_seconds_bucket{op="solve",le="+Inf"} 5`,
+		`lat_seconds_sum{op="solve"} 10.4`,
+		`lat_seconds_count{op="solve"} 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// Cumulative monotonicity + +Inf == _count, parsed rather than pinned.
+	var counts []int64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "lat_seconds_bucket") {
+			var n int64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+				t.Fatalf("unparseable bucket line %q", line)
+			}
+			counts = append(counts, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("bucket lines = %d, want 3", len(counts))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] != h.Count() {
+		t.Fatalf("+Inf bucket = %d, _count = %d", counts[len(counts)-1], h.Count())
+	}
+}
+
+func TestHistogramObserveGuards(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("g_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(math.NaN()) // dropped: would poison the sum forever
+	if h.Count() != 1 || h.Sum() != 0.5 {
+		t.Fatalf("after NaN observe: count=%d sum=%g, want 1, 0.5", h.Count(), h.Sum())
+	}
+	// A start time in the future (clock stepped back) clamps to zero.
+	h.ObserveSince(time.Now().Add(time.Hour))
+	if h.Count() != 2 || h.Sum() != 0.5 {
+		t.Fatalf("after future ObserveSince: count=%d sum=%g, want 2, 0.5", h.Count(), h.Sum())
+	}
+	// -Inf and +Inf still land in buckets without breaking cumulative order.
+	h.Observe(math.Inf(1))
+	if h.Count() != 3 {
+		t.Fatalf("count after +Inf observe = %d, want 3", h.Count())
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`pa"th`, `pa\"th`},
+		{`a\b`, `a\\b`},
+		{"two\nlines", `two\nlines`},
+		{`all"three` + "\n" + `\`, `all\"three\n\\`},
+	} {
+		if got := EscapeLabel(tc.in); got != tc.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Round trip through the exposition writer: the escaped value yields a
+	// line a conformant parser reads back as the original string.
+	r := NewRegistry()
+	r.Counter(`files_total{path="`+EscapeLabel(`C:\a "b"`)+`"}`, "").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `files_total{path="C:\\a \"b\""} 1`; !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
 	}
 }
 

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/span"
+)
+
+func spanStat(t *testing.T, p *SpanProfiler, layer, name string) SpanStat {
+	t.Helper()
+	for _, s := range p.Stats() {
+		if s.Layer == layer && s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no aggregate for %s/%s", layer, name)
+	return SpanStat{}
+}
+
+func TestSpanNestingAndSelfTime(t *testing.T) {
+	p := StartSpanProfiler(0)
+	defer p.Stop()
+
+	outer := span.Begin(span.LayerCore, "power")
+	time.Sleep(2 * time.Millisecond)
+	inner := span.Begin(span.LayerMutation, "apply")
+	time.Sleep(4 * time.Millisecond)
+	span.End(inner, 12, 1)
+	span.End(outer, 4096, 0)
+	p.Stop()
+
+	solve := spanStat(t, p, span.LayerCore, "power")
+	apply := spanStat(t, p, span.LayerMutation, "apply")
+	if solve.Count != 1 || apply.Count != 1 {
+		t.Fatalf("counts: solve=%d apply=%d", solve.Count, apply.Count)
+	}
+	if solve.Total < apply.Total {
+		t.Errorf("outer total %v < inner total %v", solve.Total, apply.Total)
+	}
+	// Self time of the outer span excludes the inner span entirely.
+	if got, want := solve.Self, solve.Total-apply.Total; got != want {
+		t.Errorf("outer self = %v, want total-child = %v", got, want)
+	}
+	if apply.Self != apply.Total {
+		t.Errorf("leaf self = %v, want its total %v", apply.Self, apply.Total)
+	}
+	rows := p.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// Completion order: inner ends first; both on the same track.
+	if rows[0].Name != "apply" || rows[1].Name != "power" {
+		t.Errorf("row order: %s, %s", rows[0].Name, rows[1].Name)
+	}
+	if rows[0].TID != rows[1].TID {
+		t.Errorf("tids differ: %d vs %d", rows[0].TID, rows[1].TID)
+	}
+	if rows[1].Start > rows[0].Start || rows[1].Start+rows[1].Dur < rows[0].Start+rows[0].Dur {
+		t.Errorf("outer [%v,+%v] does not contain inner [%v,+%v]",
+			rows[1].Start, rows[1].Dur, rows[0].Start, rows[0].Dur)
+	}
+	if rows[1].A1 != 4096 || rows[0].A1 != 12 || rows[0].A2 != 1 {
+		t.Errorf("args: %+v, %+v", rows[0], rows[1])
+	}
+}
+
+func TestSpanRecordChargesOpenParent(t *testing.T) {
+	p := StartSpanProfiler(0)
+	defer p.Stop()
+
+	h := span.Begin(span.LayerDevice, "stages")
+	time.Sleep(time.Millisecond)
+	p.Record(span.LayerDevice, "queue_wait", 500*time.Microsecond, 3, 0)
+	span.End(h, 1024, 4)
+	p.Stop()
+
+	launch := spanStat(t, p, span.LayerDevice, "stages")
+	wait := spanStat(t, p, span.LayerDevice, "queue_wait")
+	if wait.Total != 500*time.Microsecond || wait.Self != wait.Total {
+		t.Errorf("queue_wait aggregate = %+v", wait)
+	}
+	if got, want := launch.Self, launch.Total-wait.Total; got != want {
+		t.Errorf("launch self = %v, want %v (wait charged as child)", got, want)
+	}
+	// A negative post-hoc duration is clamped, not accounted backwards.
+	p2 := NewSpanProfiler(0)
+	p2.Record("device", "queue_wait", -time.Second, 0, 0)
+	if s := spanStat(t, p2, "device", "queue_wait"); s.Total != 0 || s.Count != 1 {
+		t.Errorf("negative duration record: %+v", s)
+	}
+}
+
+func TestSpanBufferBoundKeepsAggregatesExact(t *testing.T) {
+	p := StartSpanProfiler(4)
+	defer p.Stop()
+	for i := 0; i < 10; i++ {
+		span.End(span.Begin(span.LayerCore, "matvec"), int64(i), 0)
+	}
+	p.Stop()
+	if got := len(p.Rows()); got != 4 {
+		t.Errorf("buffered rows = %d, want 4", got)
+	}
+	if got := p.Dropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	if s := spanStat(t, p, span.LayerCore, "matvec"); s.Count != 10 {
+		t.Errorf("aggregate count = %d, want 10 despite drops", s.Count)
+	}
+}
+
+func TestSpanConcurrentGoroutinesGetDistinctTracks(t *testing.T) {
+	p := StartSpanProfiler(0)
+	defer p.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := span.Begin(span.LayerBatch, "task")
+			inner := span.Begin(span.LayerCore, "power")
+			span.End(inner, 0, 0)
+			span.End(h, 0, 0)
+		}()
+	}
+	wg.Wait()
+	p.Stop()
+	if s := spanStat(t, p, span.LayerBatch, "task"); s.Count != 4 {
+		t.Fatalf("task count = %d", s.Count)
+	}
+	tids := map[int64]bool{}
+	for _, r := range p.Rows() {
+		if r.Layer == span.LayerBatch {
+			tids[r.TID] = true
+		}
+	}
+	if len(tids) != 4 {
+		t.Errorf("distinct tids = %d, want 4", len(tids))
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	p := StartSpanProfiler(0)
+	defer p.Stop()
+	outer := span.Begin(span.LayerCore, "power")
+	inner := span.Begin(span.LayerMutation, "apply")
+	span.End(inner, 14, 1)
+	span.End(outer, 16384, 0)
+	p.Stop()
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(tr.TraceEvents))
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.TID == 0 || ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("malformed event: %+v", ev)
+		}
+	}
+	// Named args: the mutation apply span carries stages/vectors.
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat == "mutation" {
+			if ev.Args["stages"] != float64(14) || ev.Args["vectors"] != float64(1) {
+				t.Errorf("mutation args = %v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestSpanWriteTable(t *testing.T) {
+	p := StartSpanProfiler(0)
+	defer p.Stop()
+	span.End(span.Begin(span.LayerCore, "matvec"), 1, 0)
+	p.Stop()
+	var buf bytes.Buffer
+	if err := p.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"layer", "span", "self", "matvec", "wall "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStopUninstallsRecorder(t *testing.T) {
+	p := StartSpanProfiler(0)
+	if !span.Enabled() {
+		t.Fatal("recorder not installed by StartSpanProfiler")
+	}
+	p.Stop()
+	if span.Enabled() {
+		t.Fatal("recorder still installed after Stop")
+	}
+	if p.Wall() <= 0 {
+		t.Errorf("wall = %v", p.Wall())
+	}
+	// Wall is frozen by Stop.
+	w1 := p.Wall()
+	time.Sleep(2 * time.Millisecond)
+	if w2 := p.Wall(); w2 != w1 {
+		t.Errorf("wall moved after Stop: %v -> %v", w1, w2)
+	}
+}

@@ -72,22 +72,36 @@ func (t *Trace) Recorder(label string) *TraceRecorder {
 // TraceRecorder records one solve's convergence stream into its Trace.
 // Its method set matches core.Observer.
 type TraceRecorder struct {
-	t     *Trace
-	label string
-	steps int
+	t       *Trace
+	label   string
+	steps   int
+	pending TraceRow // last thinned-away step, flushed by a terminal Event
+	hasPend bool
 }
 
 // Step records a residual check, thinned to the Trace's every-N setting.
+// A thinned-away step is held as pending so the trace never loses the final
+// pre-convergence residual: when a terminal Event arrives, the last step is
+// flushed even if it fell between every-N samples.
 func (r *TraceRecorder) Step(iter int, lambda, residual float64) {
 	r.steps++
 	if r.t.every > 1 && r.steps%r.t.every != 0 {
+		r.pending = TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual}
+		r.hasPend = true
 		return
 	}
+	r.hasPend = false
 	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual})
 }
 
-// Event records a solver lifecycle event (never thinned).
+// Event records a solver lifecycle event (never thinned). Any event other
+// than the opening "start" terminates the solve, so it first flushes the
+// pending thinned step — the residual check the outcome was decided on.
 func (r *TraceRecorder) Event(event string, iter int, lambda, residual float64) {
+	if r.hasPend && event != "start" {
+		r.t.append(r.pending)
+		r.hasPend = false
+	}
 	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual, Event: event})
 }
 

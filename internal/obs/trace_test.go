@@ -18,7 +18,9 @@ func TestTraceThinning(t *testing.T) {
 	}
 	rec.Event("converged", 95, 1.5, 1e-5)
 	rows := tr.Rows()
-	// 9 thinned steps (every 10th of 95) + 2 events.
+	// 9 thinned steps (every 10th of 95), the flushed final step 95, and
+	// the 2 events: the terminal event flushes the pending thinned step so
+	// the last pre-convergence residual is never lost.
 	steps, events := 0, 0
 	for _, r := range rows {
 		if r.Event == "" {
@@ -30,8 +32,46 @@ func TestTraceThinning(t *testing.T) {
 			t.Fatalf("row label = %q", r.Label)
 		}
 	}
-	if steps != 9 || events != 2 {
-		t.Fatalf("got %d steps, %d events; want 9, 2", steps, events)
+	if steps != 10 || events != 2 {
+		t.Fatalf("got %d steps, %d events; want 10, 2", steps, events)
+	}
+	// The flushed row is step 95, right before the converged event.
+	if rows[len(rows)-2].Iter != 95 || rows[len(rows)-2].Event != "" {
+		t.Fatalf("penultimate row = %+v, want flushed step 95", rows[len(rows)-2])
+	}
+}
+
+func TestTraceThinningFlushesFinalStepOnce(t *testing.T) {
+	// When the final step lands exactly on the every-N grid there is
+	// nothing pending, so the terminal event must not duplicate it.
+	tr := NewTrace(10)
+	rec := tr.Recorder("")
+	rec.Event("start", 0, 0, 0)
+	for i := 1; i <= 90; i++ {
+		rec.Step(i, 1, 0.1)
+	}
+	rec.Event("stagnated", 90, 1, 0.1)
+	steps := 0
+	for _, r := range tr.Rows() {
+		if r.Event == "" {
+			steps++
+		}
+	}
+	if steps != 9 {
+		t.Fatalf("steps = %d, want 9 (no duplicate flush on grid-aligned final step)", steps)
+	}
+	// The opening start event must not flush anything either.
+	tr2 := NewTrace(10)
+	rec2 := tr2.Recorder("")
+	rec2.Step(1, 1, 0.5) // thinned away, pending
+	rec2.Event("start", 0, 0, 0)
+	if got := len(tr2.Rows()); got != 1 {
+		t.Fatalf("rows after start = %d, want just the event", got)
+	}
+	// …but a later terminal event flushes the still-pending step.
+	rec2.Event("aborted", 1, 1, 0.5)
+	if got := len(tr2.Rows()); got != 3 {
+		t.Fatalf("rows after aborted = %d, want pending step + 2 events", got)
 	}
 }
 

@@ -37,10 +37,12 @@ func TestEnableSolverMetricsEndToEnd(t *testing.T) {
 	}
 	RecordSweepPoint(0.01, res.Iterations, true)
 
-	addr, err := Serve("127.0.0.1:0")
+	srv, err := Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)

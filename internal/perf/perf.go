@@ -1,0 +1,302 @@
+// Package perf is the solver's performance ledger: an append-only JSONL
+// file of profiled benchmark runs (wall time plus the per-phase span
+// breakdown), with benchstat-style comparison between runs and a
+// regression gate for CI.
+//
+// The ledger decouples measurement from judgment. `qs-perf record` appends
+// a Record per run; `qs-perf check` measures afresh and gates against the
+// last recorded baseline. Because absolute timings are incomparable across
+// machines (a laptop baseline must not fail a CI runner), the gate defaults
+// to share-of-wall mode: a phase regresses when its fraction of total wall
+// time grows, which is machine-speed invariant as long as the workload is
+// fixed.
+//
+// The package holds no solver dependencies — callers (cmd/qs-perf) run the
+// workload and hand in plain PhaseStat values.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// PhaseStat is one span site's aggregate within a run, in seconds.
+type PhaseStat struct {
+	Layer        string  `json:"layer"`
+	Name         string  `json:"name"`
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	SelfSeconds  float64 `json:"self_seconds"`
+}
+
+// Record is one ledger entry: a profiled run of a fixed benchmark workload.
+type Record struct {
+	Time        string           `json:"time"` // RFC 3339
+	Rev         string           `json:"rev,omitempty"`
+	Label       string           `json:"label"`
+	Nu          int              `json:"nu"`
+	P           float64          `json:"p"`
+	Method      string           `json:"method"`
+	Reps        int              `json:"reps"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Iterations  int              `json:"iterations"`
+	Lambda      float64          `json:"lambda"` // correctness anchor: must not drift between runs
+	Host        harness.HostInfo `json:"host"`
+	Phases      []PhaseStat      `json:"phases"`
+}
+
+// DefaultLedgerPath is where the repo keeps its committed baseline ledger.
+const DefaultLedgerPath = "results/PERF_ledger.jsonl"
+
+// Append appends rec as one JSON line to the ledger at path, creating the
+// file and its directory if needed.
+func Append(path string, rec Record) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	err = enc.Encode(rec)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Read parses all records of the ledger at path, in file order. A missing
+// file is not an error — it reads as an empty ledger.
+func Read(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, ln, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Latest returns the last record matching label ("" matches any), or false.
+func Latest(recs []Record, label string) (Record, bool) {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if label == "" || recs[i].Label == label {
+			return recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// PhaseDelta is the comparison of one span site between two records.
+// Shares are fractions of the record's wall time; growth percentages are
+// relative (100·(cur/base − 1)), with ±Inf when a side is zero.
+type PhaseDelta struct {
+	Layer         string
+	Name          string
+	BaseSeconds   float64
+	CurSeconds    float64
+	BaseShare     float64
+	CurShare      float64
+	SecondsGrowth float64
+	ShareGrowth   float64
+	BaseCount     int64
+	CurCount      int64
+}
+
+func growthPct(base, cur float64) float64 {
+	if base == cur {
+		return 0
+	}
+	if base == 0 {
+		return 100 // appeared from nothing: report as +100% rather than +Inf
+	}
+	return 100 * (cur/base - 1)
+}
+
+// Compare matches the two records' phases by layer/name and returns one
+// delta per site present in either, sorted by current total descending.
+// It uses TotalSeconds (not self): the gate cares where wall time is spent,
+// and total is what the table and the trace viewer show.
+func Compare(base, cur Record) []PhaseDelta {
+	type key struct{ layer, name string }
+	idx := make(map[key]*PhaseDelta)
+	order := []*PhaseDelta{}
+	at := func(k key) *PhaseDelta {
+		if d, ok := idx[k]; ok {
+			return d
+		}
+		d := &PhaseDelta{Layer: k.layer, Name: k.name}
+		idx[k] = d
+		order = append(order, d)
+		return d
+	}
+	for _, p := range base.Phases {
+		d := at(key{p.Layer, p.Name})
+		d.BaseSeconds, d.BaseCount = p.TotalSeconds, p.Count
+		if base.WallSeconds > 0 {
+			d.BaseShare = p.TotalSeconds / base.WallSeconds
+		}
+	}
+	for _, p := range cur.Phases {
+		d := at(key{p.Layer, p.Name})
+		d.CurSeconds, d.CurCount = p.TotalSeconds, p.Count
+		if cur.WallSeconds > 0 {
+			d.CurShare = p.TotalSeconds / cur.WallSeconds
+		}
+	}
+	out := make([]PhaseDelta, 0, len(order))
+	for _, d := range order {
+		d.SecondsGrowth = growthPct(d.BaseSeconds, d.CurSeconds)
+		d.ShareGrowth = growthPct(d.BaseShare, d.CurShare)
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CurSeconds > out[j].CurSeconds })
+	return out
+}
+
+// GateOptions tunes the regression gate.
+type GateOptions struct {
+	// Threshold is the relative growth that flags a phase: 0.25 flags
+	// phases ≥ 25% worse than the baseline. ≤ 0 selects 0.25.
+	Threshold float64
+	// MinShare ignores phases below this share of wall time in both
+	// records — sub-percent phases regress by large factors from pure
+	// timer noise. 0 selects 0.02; < 0 keeps everything.
+	MinShare float64
+	// AbsoluteSeconds gates on wall seconds instead of share-of-wall.
+	// Only meaningful when base and current ran on comparable hardware;
+	// CI should leave it false.
+	AbsoluteSeconds bool
+}
+
+// Violation is one gate finding.
+type Violation struct {
+	Layer     string
+	Name      string
+	Metric    string // "share" or "seconds"
+	Base, Cur float64
+	GrowthPct float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s %.4g → %.4g (+%.1f%%)",
+		v.Layer, v.Name, v.Metric, v.Base, v.Cur, v.GrowthPct)
+}
+
+// Gate compares cur against base and returns the phases whose cost grew by
+// more than the threshold. In share mode (the default) a phase's share of
+// wall time must grow ≥ threshold·base_share to flag; in absolute mode the
+// wall time itself is also gated as a pseudo-phase "total/wall".
+func Gate(base, cur Record, opts GateOptions) []Violation {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.25
+	}
+	switch {
+	case opts.MinShare == 0:
+		opts.MinShare = 0.02
+	case opts.MinShare < 0:
+		opts.MinShare = 0
+	}
+	var out []Violation
+	for _, d := range Compare(base, cur) {
+		if d.BaseShare < opts.MinShare && d.CurShare < opts.MinShare {
+			continue
+		}
+		if opts.AbsoluteSeconds {
+			if d.CurSeconds > d.BaseSeconds*(1+opts.Threshold) {
+				out = append(out, Violation{
+					Layer: d.Layer, Name: d.Name, Metric: "seconds",
+					Base: d.BaseSeconds, Cur: d.CurSeconds, GrowthPct: d.SecondsGrowth,
+				})
+			}
+			continue
+		}
+		if d.CurShare > d.BaseShare*(1+opts.Threshold) {
+			out = append(out, Violation{
+				Layer: d.Layer, Name: d.Name, Metric: "share",
+				Base: d.BaseShare, Cur: d.CurShare, GrowthPct: d.ShareGrowth,
+			})
+		}
+	}
+	if opts.AbsoluteSeconds && cur.WallSeconds > base.WallSeconds*(1+opts.Threshold) {
+		out = append(out, Violation{
+			Layer: "total", Name: "wall", Metric: "seconds",
+			Base: base.WallSeconds, Cur: cur.WallSeconds,
+			GrowthPct: growthPct(base.WallSeconds, cur.WallSeconds),
+		})
+	}
+	return out
+}
+
+// FormatCompare renders a benchstat-style per-phase comparison table.
+func FormatCompare(w io.Writer, base, cur Record) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "baseline: %s  rev=%s  wall=%.4gs  iters=%d\n",
+		base.Time, orDash(base.Rev), base.WallSeconds, base.Iterations)
+	fmt.Fprintf(bw, "current:  %s  rev=%s  wall=%.4gs  iters=%d  (%+.1f%% wall)\n",
+		cur.Time, orDash(cur.Rev), cur.WallSeconds, cur.Iterations,
+		growthPct(base.WallSeconds, cur.WallSeconds))
+	if base.Lambda != 0 && cur.Lambda != 0 && base.Lambda != cur.Lambda {
+		fmt.Fprintf(bw, "WARNING: lambda drifted %.17g → %.17g — not the same computation\n",
+			base.Lambda, cur.Lambda)
+	}
+	fmt.Fprintf(bw, "%-10s %-14s %12s %12s %8s %8s %8s\n",
+		"layer", "phase", "base[s]", "cur[s]", "Δtime", "base%", "cur%")
+	for _, d := range Compare(base, cur) {
+		fmt.Fprintf(bw, "%-10s %-14s %12.6f %12.6f %+7.1f%% %7.1f%% %7.1f%%\n",
+			d.Layer, d.Name, d.BaseSeconds, d.CurSeconds, d.SecondsGrowth,
+			100*d.BaseShare, 100*d.CurShare)
+	}
+	return bw.Flush()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// GitRev returns the short commit hash of the repository containing dir,
+// or "" when git (or the repo) is unavailable — ledger records are still
+// useful without it.
+func GitRev(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(wall float64, phases ...PhaseStat) Record {
+	return Record{
+		Time: "2026-08-05T00:00:00Z", Label: "bench", Nu: 12, P: 0.01,
+		Method: "fmmp", Reps: 3, WallSeconds: wall, Iterations: 100,
+		Lambda: 1.5, Phases: phases,
+	}
+}
+
+func ph(layer, name string, total float64) PhaseStat {
+	return PhaseStat{Layer: layer, Name: name, Count: 100, TotalSeconds: total, SelfSeconds: total}
+}
+
+func TestLedgerAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "ledger.jsonl")
+	if recs, err := Read(path); err != nil || recs != nil {
+		t.Fatalf("missing ledger: recs=%v err=%v, want nil, nil", recs, err)
+	}
+	r1 := rec(2.0, ph("core", "matvec", 1.0))
+	r2 := rec(2.1, ph("core", "matvec", 1.1))
+	r2.Label = "other"
+	if err := Append(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, r2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].WallSeconds != 2.0 || recs[1].Label != "other" {
+		t.Fatalf("read back %+v", recs)
+	}
+	if got, ok := Latest(recs, "bench"); !ok || got.WallSeconds != 2.0 {
+		t.Fatalf("Latest(bench) = %+v, %v", got, ok)
+	}
+	if _, ok := Latest(recs, "absent"); ok {
+		t.Fatalf("Latest(absent) found a record")
+	}
+}
+
+// TestGateFlagsSyntheticRegression is the acceptance check for the CI gate:
+// a phase whose share of wall time grows from 50% to 75% (+50%) must be
+// flagged at the default 25% threshold, while an identical run must pass.
+func TestGateFlagsSyntheticRegression(t *testing.T) {
+	base := rec(2.0, ph("core", "matvec", 1.0), ph("core", "normalize", 0.4))
+	same := rec(2.0, ph("core", "matvec", 1.0), ph("core", "normalize", 0.4))
+	if v := Gate(base, same, GateOptions{}); len(v) != 0 {
+		t.Fatalf("identical run flagged: %v", v)
+	}
+
+	// Same wall, but matvec's share grew 1.0/2.0 → 1.5/2.0.
+	slow := rec(2.0, ph("core", "matvec", 1.5), ph("core", "normalize", 0.4))
+	v := Gate(base, slow, GateOptions{})
+	if len(v) != 1 || v[0].Name != "matvec" || v[0].Metric != "share" {
+		t.Fatalf("violations = %v, want one matvec share regression", v)
+	}
+	if v[0].GrowthPct < 49 || v[0].GrowthPct > 51 {
+		t.Fatalf("growth = %.1f%%, want ~50%%", v[0].GrowthPct)
+	}
+	if !strings.Contains(v[0].String(), "core/matvec") {
+		t.Fatalf("violation string = %q", v[0].String())
+	}
+
+	// Share mode is machine-speed invariant: everything uniformly 3× slower
+	// (slower CI runner) must NOT flag.
+	slower := rec(6.0, ph("core", "matvec", 3.0), ph("core", "normalize", 1.2))
+	if v := Gate(base, slower, GateOptions{}); len(v) != 0 {
+		t.Fatalf("uniform slowdown flagged in share mode: %v", v)
+	}
+	// …but absolute mode flags it, including the wall pseudo-phase.
+	v = Gate(base, slower, GateOptions{AbsoluteSeconds: true})
+	names := map[string]bool{}
+	for _, x := range v {
+		names[x.Layer+"/"+x.Name] = true
+	}
+	if !names["core/matvec"] || !names["total/wall"] {
+		t.Fatalf("absolute-mode violations = %v, want matvec and total/wall", v)
+	}
+}
+
+func TestGateIgnoresNoiseFloorPhases(t *testing.T) {
+	// A 0.5% phase tripling is timer noise, not a regression.
+	base := rec(2.0, ph("core", "matvec", 1.9), ph("device", "queue_wait", 0.01))
+	cur := rec(2.0, ph("core", "matvec", 1.9), ph("device", "queue_wait", 0.03))
+	if v := Gate(base, cur, GateOptions{}); len(v) != 0 {
+		t.Fatalf("sub-MinShare phase flagged: %v", v)
+	}
+	// A negative MinShare disables the noise floor and keeps everything.
+	if v := Gate(base, cur, GateOptions{MinShare: -1}); len(v) != 1 {
+		t.Fatalf("MinShare<0 violations = %v, want 1", v)
+	}
+}
+
+func TestCompareHandlesDisjointPhases(t *testing.T) {
+	base := rec(1.0, ph("core", "matvec", 0.6), ph("core", "shift", 0.2))
+	cur := rec(1.0, ph("core", "matvec", 0.6), ph("core", "orthonormalize", 0.3))
+	ds := Compare(base, cur)
+	byName := map[string]PhaseDelta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["shift"]; d.CurSeconds != 0 || d.SecondsGrowth != -100 {
+		t.Fatalf("vanished phase delta = %+v", d)
+	}
+	if d := byName["orthonormalize"]; d.BaseSeconds != 0 || d.SecondsGrowth != 100 {
+		t.Fatalf("appeared phase delta = %+v", d)
+	}
+	// Sorted by current total descending: matvec first.
+	if ds[0].Name != "matvec" {
+		t.Fatalf("sort order = %v", ds)
+	}
+}
+
+func TestFormatCompare(t *testing.T) {
+	base := rec(2.0, ph("core", "matvec", 1.0))
+	cur := rec(2.2, ph("core", "matvec", 1.4))
+	cur.Lambda = 1.5000001
+	var sb strings.Builder
+	if err := FormatCompare(&sb, base, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"baseline:", "current:", "matvec", "+40.0%", "WARNING: lambda drifted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/errorclass"
 	"repro/internal/landscape"
 	"repro/internal/mutation"
+	"repro/internal/span"
 	"repro/internal/vec"
 )
 
@@ -263,6 +264,16 @@ func (s *Solution) MasterConcentration() float64 {
 
 // Solve computes the quasispecies distribution.
 func (mo *Model) Solve() (*Solution, error) {
+	// The facade span brackets everything a solve does — operator build,
+	// eigensolve, concentration post-processing — so the per-phase table
+	// accounts setup time that the core-layer solve span cannot see.
+	sp := span.Begin(span.LayerFacade, "solve")
+	sol, err := mo.solve()
+	span.End(sp, int64(mo.Dim()), 0)
+	return sol, err
+}
+
+func (mo *Model) solve() (*Solution, error) {
 	method := mo.method
 	if method == MethodAuto {
 		if _, ok := mo.mut.q.Uniform(); ok && mo.land.IsClassBased() {

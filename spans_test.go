@@ -1,0 +1,169 @@
+package quasispecies
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// solveProfiled runs one Pi(Fmmp) solve under a fresh span profile and
+// returns the stopped profile.
+func solveProfiled(t *testing.T, nu int, workers int) *SpanProfile {
+	t.Helper()
+	mut, err := UniformMutation(nu, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := SinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := New(mut, land, WithMethod(MethodFmmp), WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := StartSpanProfile(0)
+	defer prof.Stop()
+	if _, err := model.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	prof.Stop()
+	return prof
+}
+
+func phase(phases []PhaseTime, layer, name string) (PhaseTime, bool) {
+	for _, p := range phases {
+		if p.Layer == layer && p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseTime{}, false
+}
+
+func TestSpanProfileCoversSolve(t *testing.T) {
+	prof := solveProfiled(t, 12, 1)
+	phases := prof.Phases()
+
+	facade, ok := phase(phases, "facade", "solve")
+	if !ok {
+		t.Fatalf("no facade solve span; phases: %+v", phases)
+	}
+	power, ok := phase(phases, "core", "power")
+	if !ok {
+		t.Fatalf("no core power span; phases: %+v", phases)
+	}
+	if _, ok := phase(phases, "mutation", "apply"); !ok {
+		t.Errorf("no mutation apply span; phases: %+v", phases)
+	}
+
+	// The iteration phases partition the loop body: their totals are
+	// nested inside the power span, so they can never exceed it, and
+	// together they account for nearly all of it.
+	var phaseSum time.Duration
+	for _, name := range []string{"matvec", "shift", "rayleigh", "residual", "normalize"} {
+		p, ok := phase(phases, "core", name)
+		if !ok {
+			t.Fatalf("no core %s span; phases: %+v", name, phases)
+		}
+		if p.Count == 0 || p.Total <= 0 {
+			t.Errorf("core %s: count=%d total=%v", name, p.Count, p.Total)
+		}
+		phaseSum += p.Total
+	}
+	if phaseSum > power.Total {
+		t.Errorf("iteration phases sum to %v > power span %v", phaseSum, power.Total)
+	}
+	if phaseSum < power.Total/2 {
+		t.Errorf("iteration phases sum to %v, less than half the power span %v", phaseSum, power.Total)
+	}
+	if power.Total > facade.Total {
+		t.Errorf("power span %v exceeds facade solve span %v", power.Total, facade.Total)
+	}
+	// The profile starts immediately before Solve, so the facade span
+	// accounts for (nearly) the whole recording: within 5% of wall time.
+	wall := prof.Wall()
+	if facade.Total > wall {
+		t.Errorf("facade span %v exceeds wall %v", facade.Total, wall)
+	}
+	if facade.Total < wall-wall/20 {
+		t.Errorf("facade span %v covers less than 95%% of wall %v", facade.Total, wall)
+	}
+}
+
+func TestSpanProfileChromeExport(t *testing.T) {
+	prof := solveProfiled(t, 10, 2)
+	var buf bytes.Buffer
+	if err := prof.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	cats := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.TID == 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		cats[ev.Cat] = true
+	}
+	// A worker-pool solve reaches every instrumented layer except batch.
+	for _, want := range []string{"facade", "core", "mutation", "device"} {
+		if !cats[want] {
+			t.Errorf("no %s-layer events in export (cats: %v)", want, cats)
+		}
+	}
+	var table bytes.Buffer
+	if err := prof.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() == 0 {
+		t.Error("empty span table")
+	}
+}
+
+// Solves with and without the profiler installed must be bit-identical:
+// span recording is passive observation.
+func TestSpanProfileBitIdentical(t *testing.T) {
+	run := func(profiled bool) *Solution {
+		mut, _ := UniformMutation(10, 0.05)
+		land, _ := SinglePeak(10, 2, 1)
+		model, err := New(mut, land, WithMethod(MethodFmmp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if profiled {
+			prof := StartSpanProfile(0)
+			defer prof.Stop()
+		}
+		sol, err := model.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	bare := run(false)
+	prof := run(true)
+	if bare.Lambda != prof.Lambda || bare.Iterations != prof.Iterations || bare.Residual != prof.Residual {
+		t.Fatalf("profiled solve diverged: λ %v vs %v, iters %d vs %d, residual %v vs %v",
+			bare.Lambda, prof.Lambda, bare.Iterations, prof.Iterations, bare.Residual, prof.Residual)
+	}
+	for i := range bare.Concentrations {
+		if bare.Concentrations[i] != prof.Concentrations[i] {
+			t.Fatalf("concentration %d differs: %v vs %v", i, bare.Concentrations[i], prof.Concentrations[i])
+		}
+	}
+}
