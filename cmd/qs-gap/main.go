@@ -4,14 +4,20 @@
 // closes as p approaches the error threshold, which is Figure 1's phase
 // transition seen from the spectrum.
 //
-// Output: p, λ₀, λ₁, rate, shifted rate (with µ = (1−2p)^ν·f_min) and the
-// predicted iteration count to reach 1e−10.
+// Output: p, λ₀, λ₁, rate, shifted rate (with µ = (1−2p)^ν·f_min), the
+// predicted iteration count to reach 1e−10, and a status column. Inside the
+// critical window the two leading eigenvalues collapse below the attainable
+// numerical resolution; such points are reported as "unresolved" (with the
+// reason) instead of a spuriously tiny gap — the same signal that makes the
+// adaptive sweep engine (qs-threshold -method auto) switch off the power
+// iteration there.
 //
 //	qs-gap -nu 14 -pmin 0.005 -pmax 0.08 -steps 16
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +46,7 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	fmt.Fprintf(w, "# spectral gap of W = Q·F, single peak f0=%g f1=%g, ν=%d\n", *f0, *f1, *nu)
-	fmt.Fprintln(w, "p\tlambda0\tlambda1\trate\tshifted_rate\tpredicted_iters_1e-10")
+	fmt.Fprintln(w, "p\tlambda0\tlambda1\trate\tshifted_rate\tpredicted_iters_1e-10\tstatus")
 	for i := 0; i < *steps; i++ {
 		p := *pMin + (*pMax-*pMin)*float64(i)/float64(*steps-1)
 		q, err := mutation.NewUniform(*nu, p)
@@ -51,13 +57,24 @@ func main() {
 		gap, err := core.EstimateGap(op, mu, core.PowerOptions{
 			Tol: 1e-11, Start: core.FitnessStart(l),
 		})
+		status := "ok"
+		var unresolved *core.GapUnresolvedError
+		if errors.As(err, &unresolved) {
+			// λ₀ is still trustworthy; the separation is not. Report the
+			// point instead of aborting the sweep — rate and prediction
+			// columns are meaningless here.
+			status = "unresolved:" + unresolved.Reason
+			fmt.Fprintf(w, "%.5g\t%.8g\t%.8g\tnan\tnan\t-1\t%s\n",
+				p, gap.Lambda0, gap.Lambda1, status)
+			continue
+		}
 		exitOn(err)
 		iters, err := core.PredictIterations(gap.ShiftedRate, 1e-10)
 		if err != nil {
 			iters = -1
 		}
-		fmt.Fprintf(w, "%.5g\t%.8g\t%.8g\t%.6f\t%.6f\t%d\n",
-			p, gap.Lambda0, gap.Lambda1, gap.Rate, gap.ShiftedRate, iters)
+		fmt.Fprintf(w, "%.5g\t%.8g\t%.8g\t%.6f\t%.6f\t%d\t%s\n",
+			p, gap.Lambda0, gap.Lambda1, gap.Rate, gap.ShiftedRate, iters, status)
 	}
 }
 

@@ -18,11 +18,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
 	quasispecies "repro"
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/landscape"
+	"repro/internal/mutation"
 	"repro/internal/perf"
 )
 
@@ -70,8 +74,10 @@ run 'qs-perf <command> -h' for the command's flags
 
 // workload is the fixed benchmark configuration a ledger label identifies.
 type workload struct {
+	kind    string
 	nu      int
 	p       float64
+	points  int
 	reps    int
 	workers int
 	ledger  string
@@ -80,8 +86,10 @@ type workload struct {
 
 func workloadFlags(fs *flag.FlagSet) *workload {
 	w := &workload{}
-	fs.IntVar(&w.nu, "nu", 14, "chain length ν of the benchmark solve")
-	fs.Float64Var(&w.p, "p", 0.01, "error rate of the benchmark solve")
+	fs.StringVar(&w.kind, "workload", "solve", "benchmark workload: solve (one Fmmp eigensolve) | critical (adaptive sweep across the error threshold)")
+	fs.IntVar(&w.nu, "nu", 14, "chain length ν of the benchmark workload")
+	fs.Float64Var(&w.p, "p", 0.01, "error rate of the solve workload")
+	fs.IntVar(&w.points, "points", 9, "grid points of the critical workload")
 	fs.IntVar(&w.reps, "reps", 3, "repetitions (the fastest is recorded)")
 	fs.IntVar(&w.workers, "workers", 1, "compute workers (1 = serial)")
 	fs.StringVar(&w.ledger, "ledger", perf.DefaultLedgerPath, "ledger file")
@@ -91,7 +99,12 @@ func workloadFlags(fs *flag.FlagSet) *workload {
 
 func (w *workload) resolveLabel() string {
 	if w.label == "" {
-		w.label = fmt.Sprintf("singlepeak-nu%d-p%g-fmmp-w%d", w.nu, w.p, w.workers)
+		switch w.kind {
+		case "critical":
+			w.label = fmt.Sprintf("critical-nu%d-auto-w%d", w.nu, w.workers)
+		default:
+			w.label = fmt.Sprintf("singlepeak-nu%d-p%g-fmmp-w%d", w.nu, w.p, w.workers)
+		}
 	}
 	return w.label
 }
@@ -100,6 +113,17 @@ func (w *workload) resolveLabel() string {
 // fastest repetition as a ledger record (best-of discards scheduler noise
 // and cold caches; the phase shares of the fastest run are the cleanest).
 func measure(w *workload) (perf.Record, error) {
+	switch w.kind {
+	case "solve":
+		return measureSolve(w)
+	case "critical":
+		return measureCritical(w)
+	default:
+		return perf.Record{}, fmt.Errorf("unknown workload %q (want solve or critical)", w.kind)
+	}
+}
+
+func measureSolve(w *workload) (perf.Record, error) {
 	l, err := quasispecies.SinglePeak(w.nu, 2, 1)
 	if err != nil {
 		return perf.Record{}, err
@@ -133,6 +157,64 @@ func measure(w *workload) (perf.Record, error) {
 			Reps: w.reps, WallSeconds: wall,
 			Iterations: sol.Iterations, Lambda: sol.Lambda,
 			Phases: make([]perf.PhaseStat, len(phases)),
+		}
+		for i, ph := range phases {
+			rec.Phases[i] = perf.PhaseStat{
+				Layer: ph.Layer, Name: ph.Name, Count: ph.Count,
+				TotalSeconds: ph.Total.Seconds(), SelfSeconds: ph.Self.Seconds(),
+			}
+		}
+		best = rec
+	}
+	best.Time = time.Now().UTC().Format(time.RFC3339)
+	best.Rev = perf.GitRev(".")
+	best.Host = harness.CollectHostInfo()
+	return best, nil
+}
+
+// measureCritical profiles the adaptive critical-window sweep: a warm
+// continuation grid straddling p_c solved with the auto method selector,
+// the workload whose span breakdown includes the Krylov-gear phases
+// (gap_probe, cheb_poly, inner_solve, tridiag).
+func measureCritical(w *workload) (perf.Record, error) {
+	l, err := landscape.NewSinglePeak(w.nu, 2, 1)
+	if err != nil {
+		return perf.Record{}, err
+	}
+	q, err := mutation.NewUniform(w.nu, 0.01)
+	if err != nil {
+		return perf.Record{}, err
+	}
+	pc := 1 - math.Pow(2, -1/float64(w.nu))
+	if w.points < 2 {
+		return perf.Record{}, fmt.Errorf("critical workload needs at least 2 points, got %d", w.points)
+	}
+	ps := make([]float64, w.points)
+	for i := range ps {
+		ps[i] = 0.90*pc + (1.08*pc-0.90*pc)*float64(i)/float64(w.points-1)
+	}
+
+	var best perf.Record
+	for r := 0; r < w.reps; r++ {
+		prof := quasispecies.StartSpanProfile(0)
+		var stats *harness.SweepStats
+		_, stats, err = harness.ThresholdSweepFullOpts(q, l, ps, harness.SweepOptions{
+			Workers: w.workers, WarmStart: true, Method: core.SolveAuto,
+		})
+		prof.Stop()
+		if err != nil {
+			return perf.Record{}, fmt.Errorf("rep %d: %w", r+1, err)
+		}
+		wall := prof.Wall().Seconds()
+		if r > 0 && wall >= best.WallSeconds {
+			continue
+		}
+		phases := prof.Phases()
+		rec := perf.Record{
+			Label: w.resolveLabel(), Nu: w.nu, P: ps[len(ps)-1], Method: "adaptive-sweep",
+			Reps: w.reps, WallSeconds: wall,
+			Iterations: stats.TotalIterations(),
+			Phases:     make([]perf.PhaseStat, len(phases)),
 		}
 		for i, ph := range phases {
 			rec.Phases[i] = perf.PhaseStat{

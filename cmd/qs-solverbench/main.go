@@ -16,12 +16,19 @@
 //
 // With -sweep it benchmarks the batched sweep engine instead: one
 // full-pipeline threshold sweep at -nu under serial/parallel × cold/warm
-// scheduling, with a bit-identity cross-check (see sweep.go).
+// scheduling, with a bit-identity cross-check (see sweep.go); -method
+// changes the per-point eigensolver and the variant rows then tally points
+// by the gear that solved them.
+//
+// With -critical it benchmarks the adaptive critical-window engine: a sweep
+// straddling p_c with -method auto gear selection, a parallel bit-identity
+// cross-check, and the capped power baseline (see critical.go).
 //
 //	qs-solverbench -numin 10 -numax 22 -workers 0 > fig3.tsv
 //	qs-solverbench -shift-study -nu 16
 //	qs-solverbench -kernels -numin 14 -numax 22 -json results/BENCH_kernels.json
 //	qs-solverbench -sweep -nu 18 -points 16 -workers 4 -json results/BENCH_sweep.json
+//	qs-solverbench -critical -nu 18 -points 13 -workers 4 -json results/BENCH_critical.json
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"os"
 
 	quasispecies "repro"
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/harness"
 	"repro/internal/mutation"
@@ -58,8 +66,12 @@ func main() {
 		reps       = flag.Int("reps", 5, "repetitions per measurement for -kernels (best-of)")
 		jsonPath   = flag.String("json", "", "with -kernels or -sweep: also write the results as JSON to this file")
 		sweep      = flag.Bool("sweep", false, "run the batched sweep benchmark (serial/parallel × cold/warm threshold sweep) instead")
-		points     = flag.Int("points", 16, "sweep points for -sweep")
-		sweepSigma = flag.Float64("sweep-sigma", 2, "single-peak superiority f0/f1 for -sweep")
+		points     = flag.Int("points", 16, "sweep points for -sweep and -critical")
+		sweepSigma = flag.Float64("sweep-sigma", 2, "single-peak superiority f0/f1 for -sweep and -critical")
+		method     = flag.String("method", "", "per-point eigensolver for -sweep: power (default) | auto | chebyshev | shiftinvert | lanczos")
+		critical   = flag.Bool("critical", false, "run the adaptive critical-window benchmark (sweep straddling p_c with -method auto, plus the capped power baseline) instead")
+		fracMin    = flag.Float64("fracmin", 0.90, "lower grid edge for -critical, in units of p_c")
+		fracMax    = flag.Float64("fracmax", 1.08, "upper grid edge for -critical, in units of p_c")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 		spans      = flag.Bool("spans", false, "profile the run with hierarchical spans and print the per-phase time table to stderr")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
@@ -103,7 +115,7 @@ func main() {
 		return
 	}
 
-	if *sweep {
+	if *sweep || *critical {
 		// -workers here is the solve-level concurrency of the batch
 		// engine, not device workers; -tol 0 selects the floating-point
 		// floor default. Sweep-point grid straddles the error threshold.
@@ -115,7 +127,13 @@ func main() {
 		if tol == 1e-13 { // flag default: let the engine pick the floor
 			tol = 0
 		}
-		exitOn(runSweepBench(w, *nu, *points, sweepWorkers, *sweepSigma, tol, *jsonPath))
+		if *critical {
+			exitOn(runCriticalBench(w, *nu, *points, sweepWorkers, *sweepSigma, *fracMin, *fracMax, tol, *jsonPath))
+			return
+		}
+		solveMethod, err := core.ParseSolveMethod(*method)
+		exitOn(err)
+		exitOn(runSweepBench(w, *nu, *points, sweepWorkers, *sweepSigma, tol, solveMethod, *jsonPath))
 		return
 	}
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
@@ -24,9 +25,9 @@ type sweepReport struct {
 	Result     *harness.SweepBenchResult `json:"result"`
 }
 
-func runSweepBench(w io.Writer, nu, points, workers int, sigma, tol float64, jsonPath string) error {
+func runSweepBench(w io.Writer, nu, points, workers int, sigma, tol float64, method core.SolveMethod, jsonPath string) error {
 	res, err := harness.RunSweepBench(harness.SweepBenchConfig{
-		Nu: nu, Points: points, Workers: workers, Sigma: sigma, Tol: tol,
+		Nu: nu, Points: points, Workers: workers, Sigma: sigma, Tol: tol, Method: method,
 	})
 	if err != nil {
 		return err

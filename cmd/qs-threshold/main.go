@@ -41,6 +41,7 @@ func main() {
 		workers = flag.Int("workers", 1, "concurrent eigensolves (0/1 serial, -1 all cores); results are bit-identical at any count")
 		warm    = flag.Bool("warm", false, "warm-start each solve from the previous error rate's solution")
 		full    = flag.Bool("full", false, "solve the full 2^ν eigenproblem per point instead of the exact class reduction")
+		method  = flag.String("method", "power", "per-point eigensolver: power | auto | chebyshev | shiftinvert | lanczos (auto adapts per point: power far from the threshold, Krylov gears inside the critical window)")
 
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 		traceFile  = flag.String("trace", "", "write per-point convergence traces to this file (.tsv or .jsonl; requires -full)")
@@ -85,7 +86,7 @@ func main() {
 	}
 	if *locate {
 		located, err := quasispecies.LocateErrorThresholdWith(l, *pMin, *pMax, 1e-6,
-			quasispecies.SweepOptions{Workers: *workers})
+			quasispecies.SweepOptions{Workers: *workers, Method: *method})
 		exitOn(err)
 		fmt.Printf("located p_max = %.6f\n", located)
 		if *land == "singlepeak" && *f0 > *f1 {
@@ -96,18 +97,18 @@ func main() {
 		return
 	}
 
-	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm}
+	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm, Method: *method}
 	if *progress || *debugAddr != "" {
 		pr := *progress
-		opts.Progress = func(i int, p float64, iters int, warmStarted bool) {
+		opts.Progress = func(i int, p float64, iters int, warmStarted bool, solveMethod string) {
 			obs.RecordSweepPoint(p, iters, warmStarted)
 			if pr {
 				tag := "cold"
 				if warmStarted {
 					tag = "warm"
 				}
-				fmt.Fprintf(os.Stderr, "qs-threshold: point %d/%d p=%.6g done (%d iterations, %s)\n",
-					i+1, len(ps), p, iters, tag)
+				fmt.Fprintf(os.Stderr, "qs-threshold: point %d/%d p=%.6g done (%d iterations, %s, %s)\n",
+					i+1, len(ps), p, iters, solveMethod, tag)
 			}
 		}
 	}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/vec"
+)
+
+// The adaptive critical-window engine: a per-sweep-point method selector
+// over the solver gears of this package. Far from the error threshold the
+// shifted power iteration is unbeatable (2·N memory, one matvec per step);
+// as p approaches p_c the spectral gap collapses exponentially and the
+// selector shifts gears — Chebyshev-filtered restarts (quadratic rate
+// improvement, still 3·N memory), then shift-invert Lanczos with
+// warm-started shifts µ carried along the p-sweep. Selection is driven by
+// an online gap estimate: a k-step Lanczos probe (RitzGap) whose Ritz
+// values bound λ₀ and λ₁ from below by Cauchy interlacing.
+//
+// Everything here is deterministic — probes use fixed starts, thresholds
+// are pure arithmetic, escalation is a fixed ladder — so batched sweeps
+// stay bit-identical at every worker count (the batch layer's contract).
+
+// SolveMethod selects the eigensolver gear of a sweep point. The zero
+// value is the plain power iteration, keeping existing sweep paths
+// byte-for-byte unchanged.
+type SolveMethod int
+
+const (
+	// SolvePower is the (optionally shifted) power iteration — the paper's
+	// baseline and the right tool away from the critical window.
+	SolvePower SolveMethod = iota
+	// SolveAuto probes the gap at each point and picks the cheapest gear.
+	SolveAuto
+	// SolveChebyshev forces Chebyshev-filtered restarts.
+	SolveChebyshev
+	// SolveShiftInvert forces shift-invert Lanczos.
+	SolveShiftInvert
+	// SolveLanczos forces the restarted Lanczos solver.
+	SolveLanczos
+)
+
+func (m SolveMethod) String() string {
+	switch m {
+	case SolvePower:
+		return "power"
+	case SolveAuto:
+		return "auto"
+	case SolveChebyshev:
+		return "chebyshev"
+	case SolveShiftInvert:
+		return "shiftinvert"
+	case SolveLanczos:
+		return "lanczos"
+	default:
+		return fmt.Sprintf("SolveMethod(%d)", int(m))
+	}
+}
+
+// ParseSolveMethod parses the CLI spelling of a solve method. The empty
+// string means SolvePower (the historical default).
+func ParseSolveMethod(s string) (SolveMethod, error) {
+	switch s {
+	case "", "power":
+		return SolvePower, nil
+	case "auto":
+		return SolveAuto, nil
+	case "chebyshev", "cheb":
+		return SolveChebyshev, nil
+	case "shiftinvert", "shift-invert", "shift_invert", "si":
+		return SolveShiftInvert, nil
+	case "lanczos":
+		return SolveLanczos, nil
+	default:
+		return SolvePower, fmt.Errorf("core: unknown solve method %q (want auto, power, chebyshev, shiftinvert or lanczos)", s)
+	}
+}
+
+// MethodState is the selector state a warm-start chain carries from point
+// to point: the previous eigenvalue doubles as the next shift-invert shift
+// (λ₀(p) is decreasing along increasing p, so the previous λ₀ lies above
+// the next point's spectrum automatically). Chain-local by construction —
+// reset it at every chain head to keep sweeps worker-count independent.
+type MethodState struct {
+	// HavePrev reports whether PrevLambda holds the previous point's λ₀.
+	HavePrev bool
+	// PrevLambda is λ₀ of the previous chain point.
+	PrevLambda float64
+	// LastMethod is the gear that solved the previous point.
+	LastMethod SolveMethod
+}
+
+// Reset clears the state (chain head).
+func (s *MethodState) Reset() { *s = MethodState{} }
+
+// AdaptiveWork is the per-slot scratch of adaptive solves: the power
+// iterate pair (which also stages the Right-form result every gear
+// returns), plus lazily allocated Chebyshev, shift-invert, and probe
+// scratch — power-only sweeps never pay for the Krylov buffers.
+type AdaptiveWork struct {
+	// Power is the power-gear scratch; AdaptiveResult.Vector always
+	// aliases its iterate, whatever gear produced it.
+	Power *PowerWork
+	cheb  *ChebyshevWork
+	si    *ShiftInvertWork
+	probe *KrylovWork
+	sym   []float64 // symmetric-form start/result staging
+}
+
+// NewAdaptiveWork returns scratch for dimension-n adaptive solves.
+func NewAdaptiveWork(n int) *AdaptiveWork {
+	return &AdaptiveWork{Power: NewPowerWork(n)}
+}
+
+func (aw *AdaptiveWork) symBuf(n int) []float64 {
+	if len(aw.sym) != n {
+		aw.sym = make([]float64, n)
+	}
+	return aw.sym
+}
+
+// AdaptiveOptions configures one adaptive solve.
+type AdaptiveOptions struct {
+	// Method is the requested gear; SolveAuto engages the selector.
+	Method SolveMethod
+	// Tol is the residual tolerance (applies to every gear). Default 1e-13.
+	Tol float64
+	// MaxIter caps matrix–vector products per gear attempt (0 = solver
+	// defaults).
+	MaxIter int
+	// PowerShift is the spectral shift of the power gear (use
+	// ConservativeShift); it also sharpens the probe's rate prediction.
+	PowerShift float64
+	// Start is the Right-form warm start; may alias Work.Power's iterate
+	// (the continuation pattern). Nil cold-starts each gear.
+	Start []float64
+	// Dev selects device-parallel BLAS-1 operations; nil runs serially.
+	Dev *device.Device
+	// Observer, when non-nil, receives the convergence trace of every gear
+	// attempt of this point.
+	Observer Observer
+	// Work supplies reusable per-slot scratch. Nil allocates fresh.
+	Work *AdaptiveWork
+	// State, when non-nil, carries selector state along a warm-start chain
+	// and is updated in place on success.
+	State *MethodState
+	// ProbeSteps is the Lanczos probe length of the auto selector.
+	// Default 24.
+	ProbeSteps int
+	// PowerIterLimit is the probe-predicted power iteration count above
+	// which auto abandons the power gear. Default 3000.
+	PowerIterLimit int
+}
+
+// AdaptiveResult is the outcome of an adaptive solve.
+type AdaptiveResult struct {
+	// Method is the gear that produced the accepted result.
+	Method SolveMethod
+	// Escalations counts abandoned gear attempts before Method succeeded.
+	Escalations int
+	// Lambda is the dominant eigenvalue (formulation-invariant).
+	Lambda float64
+	// Vector is the Right-form eigenvector, unit 2-norm, non-negative
+	// orientation; aliases Work.Power's iterate.
+	Vector []float64
+	// Iterations is the total matrix–vector product count across the
+	// probe and every gear attempt.
+	Iterations int
+	// Residual is the accepted gear's final residual (in its own
+	// formulation).
+	Residual float64
+	// Converged reports whether the accepted gear met Tol.
+	Converged bool
+	// Mu is the shift-invert shift that succeeded (0 when unused).
+	Mu float64
+	// Probed reports whether the selector ran a gap probe; Theta0/Theta1
+	// are its Ritz values when it did.
+	Probed         bool
+	Theta0, Theta1 float64
+}
+
+// AdaptiveSolve computes the dominant eigenpair with the requested gear
+// (or the auto selector). opR and opS are the Right and Symmetric
+// formulations of the same (Q, F) problem — share diagonals via
+// FmmpOperator.WithProcess; the power gear runs on opR (bit-identical to
+// the historical sweep path), the Krylov/Chebyshev gears on opS.
+func AdaptiveSolve(opR, opS *FmmpOperator, opts AdaptiveOptions) (AdaptiveResult, error) {
+	n := opR.Dim()
+	if opS.Dim() != n {
+		return AdaptiveResult{}, fmt.Errorf("core: formulation dimensions differ (%d vs %d)", n, opS.Dim())
+	}
+	if opS.Form != Symmetric {
+		return AdaptiveResult{}, fmt.Errorf("core: adaptive solve needs the Symmetric formulation, got %v", opS.Form)
+	}
+	work := opts.Work
+	if work == nil {
+		work = NewAdaptiveWork(n)
+	}
+	if work.Power == nil {
+		work.Power = NewPowerWork(n)
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	probeSteps := opts.ProbeSteps
+	if probeSteps <= 0 {
+		probeSteps = 24
+	}
+	powerLimit := opts.PowerIterLimit
+	if powerLimit <= 0 {
+		powerLimit = 3000
+	}
+
+	res := AdaptiveResult{}
+	switch opts.Method {
+	case SolvePower:
+		return res, errors.New("core: AdaptiveSolve does not implement the plain power path; call PowerIteration directly")
+	case SolveLanczos:
+		return adaptiveLanczos(opS, opts, work, tol, &res)
+	case SolveChebyshev, SolveShiftInvert, SolveAuto:
+		// All three need the probe: forced Chebyshev needs filter edges,
+		// forced shift-invert needs a λ₀ bound for its shift ladder, and
+		// auto needs the rate estimate.
+	default:
+		return res, fmt.Errorf("core: unknown solve method %v", opts.Method)
+	}
+
+	theta0, theta1, probeErr := RitzGap(opS, probeSteps, nil, work.probeWork())
+	res.Iterations += probeSteps
+	if probeErr != nil && !errors.Is(probeErr, ErrGapUnresolved) {
+		return res, probeErr
+	}
+	res.Probed, res.Theta0, res.Theta1 = true, theta0, theta1
+	// The probe resolves the pair when its Ritz separation clears the
+	// floating-point floor of θ₀ by a safe factor.
+	sep := theta0 - theta1
+	resolved := probeErr == nil && sep > 1e-10*math.Abs(theta0)
+
+	gear := opts.Method
+	if gear == SolveAuto {
+		gear = SolveShiftInvert // the unresolved-probe default: deepest window
+		if resolved {
+			rate := theta1 / theta0
+			if mu := opts.PowerShift; mu > 0 && mu < theta1 {
+				rate = (theta1 - mu) / (theta0 - mu)
+			}
+			if rate < 1 {
+				if iters, err := PredictIterations(rate, 1e-10); err == nil && iters <= powerLimit {
+					gear = SolvePower
+				} else {
+					gear = SolveChebyshev
+				}
+			} else {
+				gear = SolveChebyshev
+			}
+		}
+	}
+
+	if gear == SolvePower {
+		pres, err := PowerIteration(opR, PowerOptions{
+			Tol: tol, MaxIter: opts.MaxIter, Start: opts.Start,
+			Shift: opts.PowerShift, Dev: opts.Dev, Work: work.Power,
+			Observer: opts.Observer,
+		})
+		res.Method = SolvePower
+		res.Lambda, res.Vector = pres.Lambda, pres.Vector
+		res.Iterations += pres.Iterations
+		res.Residual, res.Converged = pres.Residual, pres.Converged
+		if err != nil {
+			// Inside a misjudged window the power gear stalls; escalate
+			// instead of failing the sweep point.
+			if opts.Method == SolveAuto && (errors.Is(err, ErrStagnated) || errors.Is(err, ErrNoConvergence)) {
+				res.Escalations++
+				gear = SolveChebyshev
+			} else {
+				finishAdaptive(&res, opts.State)
+				return res, err
+			}
+		} else {
+			finishAdaptive(&res, opts.State)
+			return res, nil
+		}
+	}
+
+	// The Krylov/Chebyshev gears run in the Symmetric formulation: stage
+	// the Right-form start as x_S = F^½·x_R.
+	symStart := work.symBuf(n)
+	if opts.Start != nil && len(opts.Start) == n {
+		copy(symStart, opts.Start)
+	} else {
+		copy(symStart, FitnessStart(opS.F))
+	}
+	if err := ConvertEigenvector(symStart, Right, Symmetric, opS.F); err != nil {
+		return res, err
+	}
+	if nrm := vec.Norm2(symStart); nrm > 0 {
+		vec.Scale(symStart, 1/nrm)
+	} else {
+		vec.Fill(symStart, 1)
+	}
+
+	if gear == SolveChebyshev && resolved {
+		// Safe filter edge: θ₁ ≤ λ₁ and θ₀ ≤ λ₀ (interlacing), so
+		// b = θ₁ + ½(θ₀−θ₁) < θ₀ ≤ λ₀ always separates once the probe has
+		// converged to λ₁ from below.
+		if work.cheb == nil {
+			work.cheb = NewChebyshevWork(n)
+		}
+		cres, err := ChebyshevIteration(opS, ChebyshevOptions{
+			Tol: tol, UpperEdge: theta1 + 0.5*sep, MaxMatVecs: opts.MaxIter,
+			Start: symStart, Dev: opts.Dev, Work: work.cheb, Observer: opts.Observer,
+		})
+		res.Iterations += cres.MatVecs
+		if err == nil {
+			res.Method = SolveChebyshev
+			res.Lambda, res.Residual, res.Converged = cres.Lambda, cres.Residual, true
+			if cerr := acceptSymmetric(&res, work, opS, cres.Vector); cerr != nil {
+				return res, cerr
+			}
+			finishAdaptive(&res, opts.State)
+			return res, nil
+		}
+		if !(errors.Is(err, ErrStagnated) || errors.Is(err, ErrNoConvergence)) {
+			return res, err
+		}
+		// Mis-set edge or tighter window than the probe suggested:
+		// escalate, reusing the partial iterate as the next start.
+		res.Escalations++
+		copy(symStart, cres.Vector)
+		gear = SolveShiftInvert
+	} else if gear == SolveChebyshev {
+		// Forced Chebyshev with an unresolved probe cannot set safe edges.
+		res.Escalations++
+		gear = SolveShiftInvert
+	}
+
+	// Shift-invert ladder. The warm shift is the previous chain point's λ₀
+	// (guaranteed above the current spectrum on monotone sweeps); cold
+	// chains fall back to the provable bound λ₀ ≤ f_max. Failed attempts
+	// tighten (after ErrNoConvergence, toward the improved λ estimate) or
+	// widen (after ErrBadShift, toward f_max and beyond) deterministically.
+	if work.si == nil {
+		work.si = NewShiftInvertWork(n)
+	}
+	upper := UpperBoundLambda(opS.F)
+	mu := upper
+	if st := opts.State; st != nil && st.HavePrev && st.PrevLambda > theta0 {
+		mu = st.PrevLambda
+	}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		sres, err := ShiftInvertLanczos(opS, ShiftInvertOptions{
+			Tol: tol, Shift: mu, Start: symStart, Dev: opts.Dev,
+			Work: work.si, Observer: opts.Observer,
+		})
+		res.Iterations += sres.MatVecs
+		if err == nil {
+			res.Method = SolveShiftInvert
+			res.Mu = mu
+			res.Lambda, res.Residual, res.Converged = sres.Lambda, sres.Residual, true
+			if cerr := acceptSymmetric(&res, work, opS, sres.Vector); cerr != nil {
+				return res, cerr
+			}
+			finishAdaptive(&res, opts.State)
+			return res, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, ErrBadShift):
+			// µ landed at or below λ₀: widen toward (and past) the provable
+			// upper bound.
+			res.Escalations++
+			if mu < upper {
+				mu = upper
+			} else {
+				mu = upper * (1 + math.Ldexp(1, attempt-6)) // ×(1+2^(a−6)): 1.015…1.25
+			}
+		case errors.Is(err, ErrNoConvergence):
+			// Progress was made: restart from the improved iterate with a
+			// shift tightened toward the improved λ estimate. The margin
+			// stays above the Rayleigh error ≈ residual²/gap by using the
+			// residual itself (gap ≥ residual whenever SI is converging).
+			res.Escalations++
+			copy(symStart, sres.Vector)
+			mu = sres.Lambda + math.Max(4*sres.Residual, 1e-12*math.Abs(sres.Lambda))
+		default:
+			res.Method = SolveShiftInvert
+			res.Mu = mu
+			return res, err
+		}
+	}
+	res.Method = SolveShiftInvert
+	res.Mu = mu
+	return res, fmt.Errorf("core: adaptive shift-invert ladder exhausted: %w", lastErr)
+}
+
+// adaptiveLanczos runs the forced restarted-Lanczos gear.
+func adaptiveLanczos(opS *FmmpOperator, opts AdaptiveOptions, work *AdaptiveWork, tol float64, res *AdaptiveResult) (AdaptiveResult, error) {
+	n := opS.Dim()
+	symStart := work.symBuf(n)
+	if opts.Start != nil && len(opts.Start) == n {
+		copy(symStart, opts.Start)
+	} else {
+		copy(symStart, FitnessStart(opS.F))
+	}
+	if err := ConvertEigenvector(symStart, Right, Symmetric, opS.F); err != nil {
+		return *res, err
+	}
+	if nrm := vec.Norm2(symStart); nrm > 0 {
+		vec.Scale(symStart, 1/nrm)
+	} else {
+		vec.Fill(symStart, 1)
+	}
+	lres, err := Lanczos(opS, LanczosOptions{Tol: tol, Start: symStart, Observer: opts.Observer})
+	res.Iterations += lres.MatVecs
+	res.Method = SolveLanczos
+	res.Lambda, res.Residual, res.Converged = lres.Lambda, lres.Residual, lres.Converged
+	if err != nil {
+		return *res, err
+	}
+	if cerr := acceptSymmetric(res, work, opS, lres.Vector); cerr != nil {
+		return *res, cerr
+	}
+	finishAdaptive(res, opts.State)
+	return *res, nil
+}
+
+// acceptSymmetric converts a Symmetric-form eigenvector into the Right
+// form, staged in the power scratch so Vector obeys the same aliasing
+// contract as the power gear (and remains a valid warm start).
+func acceptSymmetric(res *AdaptiveResult, work *AdaptiveWork, opS *FmmpOperator, symVec []float64) error {
+	x, _ := work.Power.vectors(len(symVec))
+	copy(x, symVec)
+	if err := ConvertEigenvector(x, Symmetric, Right, opS.F); err != nil {
+		return err
+	}
+	nrm := vec.Norm2(x)
+	if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+		return errors.New("core: eigenvector collapsed in formulation conversion")
+	}
+	vec.Scale(x, 1/nrm)
+	orientPositive(x)
+	res.Vector = x
+	return nil
+}
+
+// finishAdaptive records the accepted solve into the chain state.
+func finishAdaptive(res *AdaptiveResult, st *MethodState) {
+	if st == nil {
+		return
+	}
+	st.HavePrev = true
+	st.PrevLambda = res.Lambda
+	st.LastMethod = res.Method
+}
+
+func (aw *AdaptiveWork) probeWork() *KrylovWork {
+	if aw.probe == nil {
+		aw.probe = &KrylovWork{}
+	}
+	return aw.probe
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/dense"
+	"repro/internal/span"
 	"repro/internal/vec"
 )
 
@@ -124,11 +126,53 @@ type SpectralGap struct {
 	Mu          float64
 }
 
+// ErrGapUnresolved is the sentinel for spectral-gap estimates that cannot
+// distinguish λ₀ from λ₁ at the attained numerical resolution. Callers that
+// would switch solve methods on a tiny gap must treat an unresolved gap as
+// "inside the critical window", never as a trustworthy rate.
+var ErrGapUnresolved = errors.New("core: spectral gap unresolved")
+
+// GapUnresolvedError reports why a gap estimate is not trustworthy: either
+// the two leading eigenvalues coincide within the estimate's resolution
+// (near-degenerate avoided crossing), or the subdominant solve terminated
+// with Ritz values whose residual exceeds the separation it claims. It
+// unwraps to ErrGapUnresolved; the partial SpectralGap is still returned
+// alongside it so λ₀ remains usable.
+type GapUnresolvedError struct {
+	// Reason is "near_degenerate" or "unconverged_ritz".
+	Reason string
+	// Lambda0 and Lambda1 are the estimates that could not be separated.
+	Lambda0, Lambda1 float64
+	// Separation is λ₀ − λ₁ as computed.
+	Separation float64
+	// Resolution is the uncertainty the estimate carries (the subdominant
+	// residual, floored at the floating-point resolution of λ₀).
+	Resolution float64
+}
+
+func (e *GapUnresolvedError) Error() string {
+	return fmt.Sprintf("core: spectral gap unresolved (%s): λ₀ = %.17g, λ₁ = %.17g, separation %.3g below resolution %.3g",
+		e.Reason, e.Lambda0, e.Lambda1, e.Separation, e.Resolution)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *GapUnresolvedError) Unwrap() error { return ErrGapUnresolved }
+
 // EstimateGap solves for both leading eigenpairs of the *symmetric*
 // operator and derives the convergence rates with and without the shift µ.
+//
+// When the two leading eigenvalues cannot be separated at the attained
+// numerical resolution — the subdominant solve stagnated with a residual
+// larger than the separation it reports, or λ₁ sits within floating-point
+// noise of λ₀ (the near-degenerate avoided crossing of the critical
+// window) — EstimateGap returns the partial SpectralGap together with a
+// *GapUnresolvedError instead of a spuriously tiny (or negative) gap that
+// would mis-trigger a method switch.
 func EstimateGap(op Operator, mu float64, opts PowerOptions) (*SpectralGap, error) {
+	// A stagnated dominant solve has hit the floating-point floor; its
+	// eigenpair is still the best attainable and the gap math stays valid.
 	first, err := PowerIteration(op, opts)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrStagnated) {
 		return nil, fmt.Errorf("core: dominant solve failed: %w", err)
 	}
 	secondOpts := opts
@@ -145,7 +189,98 @@ func EstimateGap(op Operator, mu float64, opts PowerOptions) (*SpectralGap, erro
 	}
 	g.Rate = second.Lambda / first.Lambda
 	g.ShiftedRate = (second.Lambda - mu) / (first.Lambda - mu)
+	// Resolution of the λ₁ estimate: a Ritz value with residual r can sit
+	// anywhere within r of a true eigenvalue, and no estimate resolves
+	// below the floating-point granularity of λ₀ itself.
+	resolution := math.Max(second.Residual, 64*2.220446049250313e-16*math.Abs(first.Lambda))
+	sep := first.Lambda - second.Lambda
+	if !second.Converged && sep <= resolution {
+		return g, &GapUnresolvedError{
+			Reason: "unconverged_ritz", Lambda0: first.Lambda, Lambda1: second.Lambda,
+			Separation: sep, Resolution: resolution,
+		}
+	}
+	if sep <= resolution {
+		return g, &GapUnresolvedError{
+			Reason: "near_degenerate", Lambda0: first.Lambda, Lambda1: second.Lambda,
+			Separation: sep, Resolution: resolution,
+		}
+	}
 	return g, nil
+}
+
+// RitzGap runs k unrestarted Lanczos steps on the *symmetric* operator and
+// returns the two leading Ritz values (θ₀, θ₁). By Cauchy interlacing both
+// are lower bounds (θ₀ ≤ λ₀, θ₁ ≤ λ₁), and θ₀ converges to λ₀ far faster
+// than a power iteration — which makes this the cheap online gap estimate
+// the adaptive method selector runs per sweep point (k matrix–vector
+// products, no restart, no residual loop). start must be a deterministic
+// vector with broad spectral overlap; nil selects the same pseudo-random
+// deterministic start SecondEigenpair uses. If the Krylov space degenerates
+// before two Ritz values exist, a *GapUnresolvedError is returned.
+func RitzGap(op Operator, k int, start []float64, work *KrylovWork) (theta0, theta1 float64, err error) {
+	n := op.Dim()
+	if k < 2 {
+		return 0, 0, fmt.Errorf("core: RitzGap needs k ≥ 2 Lanczos steps, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	sr := span.Installed()
+	sp := beginPhase(sr, PhaseGapProbe)
+	if work == nil {
+		work = NewKrylovWork(n)
+	}
+	basis, alpha, beta, w := work.krylov(n, k)
+	q := basis[0]
+	if start != nil {
+		if len(start) != n {
+			span.End(sp, int64(n), int64(k))
+			return 0, 0, fmt.Errorf("core: start vector length %d, want %d", len(start), n)
+		}
+		copy(q, start)
+	} else {
+		for i := range q {
+			q[i] = 1 + 0.5*math.Sin(float64(3*i+1))
+		}
+	}
+	if vec.Norm2(q) == 0 {
+		span.End(sp, int64(n), int64(k))
+		return 0, 0, errors.New("core: start vector is zero")
+	}
+	vec.Normalize2(q)
+	built := lanczosSteps(op, basis, alpha, beta, w, k, nil)
+	span.End(sp, int64(n), int64(built))
+	if built < 2 {
+		return alpha[0], alpha[0], &GapUnresolvedError{
+			Reason: "unconverged_ritz", Lambda0: alpha[0], Lambda1: alpha[0],
+			Separation: 0, Resolution: math.Abs(beta[0]),
+		}
+	}
+	vals, err := tridiagEigenvalues(alpha[:built], beta[:built-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return vals[0], vals[1], nil
+}
+
+// tridiagEigenvalues returns the eigenvalues of the symmetric tridiagonal
+// matrix with diagonal alpha and off-diagonal beta, sorted descending.
+func tridiagEigenvalues(alpha, beta []float64) ([]float64, error) {
+	k := len(alpha)
+	t := dense.NewMatrix(k, k)
+	for j := 0; j < k; j++ {
+		t.Set(j, j, alpha[j])
+		if j+1 < k {
+			t.Set(j, j+1, beta[j])
+			t.Set(j+1, j, beta[j])
+		}
+	}
+	vals, _, err := dense.JacobiEigen(t, 1e-15)
+	if err != nil {
+		return nil, fmt.Errorf("core: tridiagonal eigensolve failed: %w", err)
+	}
+	return vals, nil
 }
 
 // PredictIterations estimates the number of power-iteration steps needed

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -162,5 +163,124 @@ func TestGapClosesNearThreshold(t *testing.T) {
 	near := rate(0.07) // p_max ≈ 0.085 at ν = 8
 	if near <= far {
 		t.Errorf("rate near threshold (%g) should exceed rate far below it (%g)", near, far)
+	}
+}
+
+// diagOp is a diagonal (hence symmetric) operator with a fully known
+// spectrum — the edge-case rig for the gap estimator.
+type diagOp struct{ d []float64 }
+
+func (o diagOp) Dim() int { return len(o.d) }
+func (o diagOp) Apply(dst, src []float64) {
+	for i := range dst {
+		dst[i] = o.d[i] * src[i]
+	}
+}
+
+func TestEstimateGapEdgeCases(t *testing.T) {
+	pad := func(d []float64, n int) []float64 {
+		for i := len(d); i < n; i++ {
+			d = append(d, 0.1/float64(i+1))
+		}
+		return d
+	}
+	cases := []struct {
+		name       string
+		d          []float64
+		opts       PowerOptions
+		wantErr    bool
+		wantReason string
+	}{
+		{
+			name: "well_separated",
+			d:    pad([]float64{1, 0.5}, 16),
+			opts: PowerOptions{Tol: 1e-11},
+		},
+		{
+			name: "modest_gap",
+			d:    pad([]float64{1, 0.99}, 16),
+			opts: PowerOptions{Tol: 1e-11},
+		},
+		{
+			name:       "near_degenerate",
+			d:          pad([]float64{1, 1 - 1e-15}, 16),
+			opts:       PowerOptions{Tol: 1e-11},
+			wantErr:    true,
+			wantReason: "near_degenerate",
+		},
+		{
+			name: "unconverged_ritz",
+			// An unreachable tolerance stalls the deflated solve on the
+			// near-degenerate pair: the Ritz value never resolves λ₁.
+			d:          pad([]float64{1, 1 - 1e-15}, 16),
+			opts:       PowerOptions{Tol: 1e-30, StallChecks: 20},
+			wantErr:    true,
+			wantReason: "unconverged_ritz",
+		},
+		{
+			name: "stagnated_but_resolved",
+			// Stagnation alone must NOT flag the gap when the separation
+			// dwarfs the attained residual.
+			d:    pad([]float64{1, 0.5}, 16),
+			opts: PowerOptions{Tol: 1e-30, StallChecks: 20},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := EstimateGap(diagOp{c.d}, 0, c.opts)
+			if !c.wantErr {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if math.Abs(g.Lambda0-c.d[0]) > 1e-9 || math.Abs(g.Lambda1-c.d[1]) > 1e-6 {
+					t.Fatalf("eigenvalues (%.12g, %.12g), want (%.12g, %.12g)",
+						g.Lambda0, g.Lambda1, c.d[0], c.d[1])
+				}
+				return
+			}
+			if !errors.Is(err, ErrGapUnresolved) {
+				t.Fatalf("got %v, want ErrGapUnresolved", err)
+			}
+			var ge *GapUnresolvedError
+			if !errors.As(err, &ge) {
+				t.Fatalf("error %T does not unwrap to *GapUnresolvedError", err)
+			}
+			if ge.Reason != c.wantReason {
+				t.Fatalf("reason %q, want %q", ge.Reason, c.wantReason)
+			}
+			if g == nil || math.Abs(g.Lambda0-c.d[0]) > 1e-9 {
+				t.Fatal("partial SpectralGap with λ₀ must still be returned")
+			}
+		})
+	}
+}
+
+func TestRitzGapDegenerateKrylovSpace(t *testing.T) {
+	// The identity's Krylov space closes after one step: no second Ritz
+	// value exists and RitzGap must say so, not fabricate a zero gap.
+	d := make([]float64, 8)
+	for i := range d {
+		d[i] = 1
+	}
+	_, _, err := RitzGap(diagOp{d}, 8, nil, nil)
+	if !errors.Is(err, ErrGapUnresolved) {
+		t.Fatalf("got %v, want ErrGapUnresolved", err)
+	}
+}
+
+func TestRitzGapValidation(t *testing.T) {
+	d := []float64{1, 0.5, 0.25, 0.125}
+	if _, _, err := RitzGap(diagOp{d}, 1, nil, nil); err == nil {
+		t.Error("k < 2 must be rejected")
+	}
+	if _, _, err := RitzGap(diagOp{d}, 4, []float64{1, 2}, nil); err == nil {
+		t.Error("mis-sized start must be rejected")
+	}
+	theta0, theta1, err := RitzGap(diagOp{d}, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(theta0-1) > 1e-10 || math.Abs(theta1-0.5) > 1e-10 {
+		t.Errorf("full-dimension probe is exact: got (%.12g, %.12g), want (1, 0.5)", theta0, theta1)
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/dense"
+	"repro/internal/span"
 	"repro/internal/vec"
 )
 
@@ -26,6 +26,10 @@ type LanczosOptions struct {
 	MaxRestarts int
 	// Start is the starting vector (copied). Default: uniform.
 	Start []float64
+	// Observer, when non-nil, receives one Step per restart (iter counts
+	// operator applications) plus lifecycle events — the same contract as
+	// PowerOptions.Observer.
+	Observer Observer
 }
 
 // LanczosResult is the outcome of the Lanczos solver.
@@ -83,58 +87,46 @@ func Lanczos(op Operator, opts LanczosOptions) (LanczosResult, error) {
 	beta := make([]float64, m) // beta[j] couples basis[j] and basis[j+1]
 	w := make([]float64, n)
 
+	// Same hook discipline as PowerIteration: hoisted loads, no deferred
+	// closures, every exit path reports through powerDone.
+	sh := solveObs.Load()
+	sr := span.Installed()
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerCore, SolveKindLanczos)
+	}
+	if sh != nil {
+		sh.o.SolveStart(SolveKindLanczos, n)
+	}
+	if opts.Observer != nil {
+		opts.Observer.Event(EventStart, 0, 0, 0)
+	}
+
 	res := LanczosResult{BasisBytes: (m + 2) * n * 8}
+	lastMatVecs := 0
 	for restart := 0; restart < maxRestarts; restart++ {
 		res.Restarts = restart + 1
 		copy(basis[0], q)
-		k := 0 // actual basis size built
-		for j := 0; j < m; j++ {
-			op.Apply(w, basis[j])
-			res.MatVecs++
-			alpha[j] = vec.Dot(basis[j], w)
-			vec.AXPY(-alpha[j], basis[j], w)
-			if j > 0 {
-				vec.AXPY(-beta[j-1], basis[j-1], w)
-			}
-			// Full reorthogonalization: cheap at small m, removes the
-			// classic Lanczos loss-of-orthogonality failure mode.
-			for t := 0; t <= j; t++ {
-				c := vec.Dot(basis[t], w)
-				vec.AXPY(-c, basis[t], w)
-			}
-			k = j + 1
-			b := vec.Norm2(w)
-			if j+1 < m {
-				if b < 1e-300 {
-					break // invariant subspace found
-				}
-				beta[j] = b
-				for i := range w {
-					basis[j+1][i] = w[i] / b
-				}
-			}
-		}
+		ph := beginPhase(sr, PhaseMatvec)
+		k := lanczosSteps(op, basis, alpha, beta, w, m, &res.MatVecs)
+		span.End(ph, int64(res.Restarts), int64(k))
 		// Dominant eigenpair of the k×k tridiagonal T.
-		t := dense.NewMatrix(k, k)
-		for j := 0; j < k; j++ {
-			t.Set(j, j, alpha[j])
-			if j+1 < k {
-				t.Set(j, j+1, beta[j])
-				t.Set(j+1, j, beta[j])
-			}
-		}
-		vals, vecs, err := dense.JacobiEigen(t, 1e-15)
+		ph = beginPhase(sr, PhaseTridiag)
+		vals, ritz, err := tridiagEigenpairs(alpha[:k], beta[:max(k-1, 0)])
+		span.End(ph, int64(res.Restarts), int64(k))
 		if err != nil {
-			return res, fmt.Errorf("core: tridiagonal eigensolve failed: %w", err)
+			powerDone(sh, sp, opts.Observer, SolveKindLanczos, EventBreakdown, n, res.MatVecs, res.Lambda, res.Residual)
+			return res, err
 		}
 		res.Lambda = vals[0]
-		// Ritz vector y = V·e₀ mapped back: x = Σ_j vecs[j][0]·basis[j].
+		// Ritz vector y = V·e₀ mapped back: x = Σ_j ritz[j]·basis[j].
 		vec.Fill(q, 0)
 		for j := 0; j < k; j++ {
-			vec.AXPY(vecs.At(j, 0), basis[j], q)
+			vec.AXPY(ritz[j], basis[j], q)
 		}
 		vec.Normalize2(q)
 		// Explicit residual of the Ritz pair.
+		ph = beginPhase(sr, PhaseResidual)
 		op.Apply(w, q)
 		res.MatVecs++
 		var rs float64
@@ -143,15 +135,25 @@ func Lanczos(op Operator, opts LanczosOptions) (LanczosResult, error) {
 			rs += r * r
 		}
 		res.Residual = math.Sqrt(rs)
+		span.End(ph, int64(res.Restarts), 0)
+		if sh != nil {
+			sh.o.SolveStep(SolveKindLanczos, res.MatVecs-lastMatVecs)
+		}
+		lastMatVecs = res.MatVecs
+		if opts.Observer != nil {
+			opts.Observer.Step(res.MatVecs, res.Lambda, res.Residual)
+		}
 		if res.Residual <= tol {
 			res.Converged = true
 			orientPositive(q)
 			res.Vector = q
+			powerDone(sh, sp, opts.Observer, SolveKindLanczos, EventConverged, n, res.MatVecs, res.Lambda, res.Residual)
 			return res, nil
 		}
 	}
 	orientPositive(q)
 	res.Vector = q
+	powerDone(sh, sp, opts.Observer, SolveKindLanczos, EventBudgetExhausted, n, res.MatVecs, res.Lambda, res.Residual)
 	return res, fmt.Errorf("%w after %d restarts (residual %g, tol %g)",
 		ErrNoConvergence, res.Restarts, res.Residual, tol)
 }

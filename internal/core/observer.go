@@ -50,8 +50,11 @@ const (
 // Solve kinds reported to the SolveObserver. The span profiler reuses them
 // as the names of the core-layer solve spans.
 const (
-	SolveKindPower      = "power"
-	SolveKindBlockPower = "block_power"
+	SolveKindPower       = "power"
+	SolveKindBlockPower  = "block_power"
+	SolveKindLanczos     = "lanczos"
+	SolveKindShiftInvert = "shift_invert"
+	SolveKindChebyshev   = "chebyshev"
 )
 
 // Iteration phase names reported as core-layer spans (internal/span) inside
@@ -66,6 +69,22 @@ const (
 	PhaseResidual       = "residual"
 	PhaseNormalize      = "normalize"
 	PhaseOrthonormalize = "orthonormalize"
+	// PhaseTridiag is the small projected eigensolve of the Krylov methods
+	// (tridiagonal for Lanczos/shift-invert, the probe's Ritz extraction).
+	PhaseTridiag = "tridiag"
+	// PhaseChebPoly is one degree-d Chebyshev filter application — d
+	// matrix–vector products plus the three-term recurrence updates.
+	PhaseChebPoly = "cheb_poly"
+	// PhaseInnerSolve is one inner CG solve of (µI − W)·y = v inside the
+	// shift-invert Lanczos iteration.
+	PhaseInnerSolve = "inner_solve"
+	// PhaseGapProbe is the k-step Lanczos probe that feeds the adaptive
+	// method selector's online gap estimate.
+	PhaseGapProbe = "gap_probe"
+	// PhaseShiftFactor is one LU factorization of (M − λI) inside the
+	// reduced-path Rayleigh-quotient iteration (errorclass emits it under
+	// the core layer with this name).
+	PhaseShiftFactor = "shift_factor"
 )
 
 // SolveObserver is the process-wide eigensolver metrics hook. SolveStep

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/device"
+	"repro/internal/span"
+	"repro/internal/vec"
+)
+
+// Shift-invert Lanczos: the deep gear of the adaptive critical-window
+// engine. Where the plain and Chebyshev iterations slow down as the gap
+// λ₀ − λ₁ collapses near the error threshold, shift-invert converges at
+// the rate of the *transformed* gap: Lanczos runs on B = (µI − S)⁻¹ whose
+// dominant eigenvalue 1/(µ − λ₀) towers over 1/(µ − λ₁) whenever the
+// shift µ sits just above λ₀. The catch is that each outer step needs a
+// linear solve with (µI − S); for a general fitness landscape there is no
+// fast direct inverse (the paper's closed form covers only pure Q), so we
+// use inner conjugate gradients — valid because S is symmetric and µ > λ₀
+// makes (µI − S) positive definite.
+//
+// Shift placement is the whole game:
+//   - µ must exceed λ₀ (else (µI − S) is indefinite; CG detects this as
+//     non-positive curvature and the solve fails fast with ErrBadShift so
+//     the caller can raise µ).
+//   - µ − λ₀ should be small against λ₀ − λ₁ for a large transformed gap,
+//     but the inner CG condition number is ≈ (µ − λ_min)/(µ − λ₀), so an
+//     overly tight shift trades outer steps for inner ones.
+//
+// On a monotone p-sweep λ₀(p) is decreasing, so the previous point's λ₀ is
+// an automatic upper shift for the next point — the warm-start chain
+// carries it (see AdaptiveOptions.State).
+
+// ErrBadShift reports a shift-invert solve whose shift µ does not lie
+// above the operator's spectrum: (µI − S) is not positive definite, which
+// the inner CG detects as non-positive curvature. Retry with a larger µ
+// (e.g. UpperBoundLambda).
+var ErrBadShift = errors.New("core: shift µ is not above the dominant eigenvalue (µI − S not positive definite)")
+
+// ShiftInvertOptions configures the shift-invert Lanczos solver.
+type ShiftInvertOptions struct {
+	// Tol is the residual threshold on ‖S·x − λ·x‖₂ of the *original*
+	// operator (not the transformed one). Default 1e-13.
+	Tol float64
+	// Shift is the spectral shift µ, required to satisfy µ > λ₀. Mandatory
+	// (there is no safe default: too low is indefinite, too high is slow).
+	Shift float64
+	// BasisSize is the outer Krylov basis length per restart (default 8 —
+	// the transformed spectrum is so skewed that tiny bases converge).
+	BasisSize int
+	// MaxRestarts caps the outer restart cycles (default 40).
+	MaxRestarts int
+	// InnerTol is the relative residual threshold of the inner CG solves.
+	// Default: two decades below the outer Tol, floored at 1e-15 — the
+	// attainable outer residual is limited by the inner solve accuracy.
+	InnerTol float64
+	// InnerMaxIter caps each inner CG solve. Default 10·√N + 100.
+	InnerMaxIter int
+	// Start is the starting vector; copied, not mutated. Default: uniform.
+	// May alias the Work iterate (warm-start continuation).
+	Start []float64
+	// Dev selects device-parallel BLAS-1 operations; nil runs serially.
+	Dev *device.Device
+	// Observer, when non-nil, receives one Step per outer restart plus
+	// lifecycle events; Step's iter argument counts operator applications.
+	Observer Observer
+	// Work supplies reusable scratch (basis + CG vectors); the returned
+	// Vector aliases its Ritz buffer. Nil allocates fresh scratch.
+	Work *ShiftInvertWork
+}
+
+// ShiftInvertWork is the reusable scratch of a shift-invert Lanczos solve:
+// the outer Krylov basis and tridiagonal coefficients plus the inner CG
+// vectors and the Ritz-vector buffer.
+type ShiftInvertWork struct {
+	kry KrylovWork
+	// inner CG scratch: residual, search direction, S·p product.
+	r, p, ap []float64
+	// q is the Ritz/iterate buffer the result vector aliases.
+	q []float64
+}
+
+// NewShiftInvertWork returns empty scratch; buffers size lazily.
+func NewShiftInvertWork(n int) *ShiftInvertWork {
+	_ = n
+	return &ShiftInvertWork{}
+}
+
+func (sw *ShiftInvertWork) vectors(n int) (r, p, ap, q []float64) {
+	if len(sw.r) != n {
+		sw.r = make([]float64, n)
+	}
+	if len(sw.p) != n {
+		sw.p = make([]float64, n)
+	}
+	if len(sw.ap) != n {
+		sw.ap = make([]float64, n)
+	}
+	if len(sw.q) != n {
+		sw.q = make([]float64, n)
+	}
+	return sw.r, sw.p, sw.ap, sw.q
+}
+
+// ShiftInvertResult is the outcome of a shift-invert Lanczos solve.
+type ShiftInvertResult struct {
+	// Lambda is the dominant eigenvalue of the original operator,
+	// recovered as µ − 1/θ from the transformed Ritz value θ.
+	Lambda float64
+	// Vector is the eigenvector estimate, unit 2-norm, non-negative
+	// orientation. Aliases Work's Ritz buffer when Work was supplied.
+	Vector []float64
+	// MatVecs counts applications of the original operator (the inner CG
+	// iterations dominate; outer steps add one residual check each).
+	MatVecs int
+	// Restarts is the number of outer Lanczos restart cycles.
+	Restarts int
+	// InnerIters is the total inner CG iteration count.
+	InnerIters int
+	// Residual is the final ‖S·x − λ·x‖₂ on the original operator.
+	Residual float64
+	// Converged reports whether Residual ≤ Tol was reached.
+	Converged bool
+	// Mu echoes the shift used.
+	Mu float64
+}
+
+// ShiftInvertLanczos computes the dominant eigenpair of the *symmetric*
+// operator op by restarted Lanczos on (µI − S)⁻¹ with inner CG solves.
+// The residual and Lambda refer to the original operator. It returns
+// ErrBadShift (fast, before burning the budget) when µ ≤ λ₀, and the
+// partial result with ErrNoConvergence when restarts run out.
+func ShiftInvertLanczos(op Operator, opts ShiftInvertOptions) (ShiftInvertResult, error) {
+	n := op.Dim()
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	mu := opts.Shift
+	if math.IsNaN(mu) || math.IsInf(mu, 0) || mu == 0 {
+		return ShiftInvertResult{}, fmt.Errorf("core: shift-invert needs an explicit shift µ > λ₀, got %g", mu)
+	}
+	m := opts.BasisSize
+	if m <= 0 {
+		m = 8
+	}
+	if m > n {
+		m = n
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 40
+	}
+	innerTol := opts.InnerTol
+	if innerTol <= 0 {
+		innerTol = math.Max(tol*1e-2, 1e-15)
+	}
+	innerMaxIter := opts.InnerMaxIter
+	if innerMaxIter <= 0 {
+		innerMaxIter = 10*int(math.Sqrt(float64(n))) + 100
+	}
+	dev := opts.Dev
+
+	work := opts.Work
+	if work == nil {
+		work = NewShiftInvertWork(n)
+	}
+	cgR, cgP, cgAp, q := work.vectors(n)
+	basis, alpha, beta, w := work.kry.krylov(n, m)
+
+	if opts.Start != nil {
+		if len(opts.Start) != n {
+			return ShiftInvertResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
+		}
+		copy(q, opts.Start) // self-copy when Start aliases the scratch buffer
+	} else {
+		vec.Fill(q, 1)
+	}
+	nrm := norm2(dev, q)
+	if nrm == 0 {
+		return ShiftInvertResult{}, errors.New("core: start vector is zero")
+	}
+	scale(dev, q, 1/nrm)
+
+	sh := solveObs.Load()
+	sr := span.Installed()
+	var sp span.Handle
+	if sr != nil {
+		sp = sr.Begin(span.LayerCore, SolveKindShiftInvert)
+	}
+	if sh != nil {
+		sh.o.SolveStart(SolveKindShiftInvert, n)
+	}
+	if opts.Observer != nil {
+		opts.Observer.Event(EventStart, 0, mu, 0)
+	}
+
+	res := ShiftInvertResult{Vector: q, Mu: mu}
+	lastMatVecs := 0
+	for restart := 0; restart < maxRestarts; restart++ {
+		res.Restarts = restart + 1
+		copyInto(dev, basis[0], q)
+		k := 0
+		badShift := false
+		for j := 0; j < m; j++ {
+			// One outer step: w ← (µI − S)⁻¹ · basis[j] by inner CG.
+			ph := beginPhase(sr, PhaseInnerSolve)
+			ok := innerCG(op, dev, w, basis[j], mu, innerTol, innerMaxIter, cgR, cgP, cgAp, &res.MatVecs, &res.InnerIters)
+			span.End(ph, int64(res.Restarts), int64(j))
+			if !ok {
+				badShift = true
+				break
+			}
+			alpha[j] = dot(dev, basis[j], w)
+			axpyInto(dev, -alpha[j], basis[j], w)
+			if j > 0 {
+				axpyInto(dev, -beta[j-1], basis[j-1], w)
+			}
+			// Full reorthogonalization of the small outer basis.
+			for t := 0; t <= j; t++ {
+				c := dot(dev, basis[t], w)
+				axpyInto(dev, -c, basis[t], w)
+			}
+			k = j + 1
+			if j+1 < m {
+				b := norm2(dev, w)
+				if b < 1e-300 {
+					break // invariant subspace of the transformed operator
+				}
+				beta[j] = b
+				inv := 1 / b
+				if dev != nil {
+					bd, wd := basis[j+1], w
+					dev.LaunchRange(n, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							bd[i] = wd[i] * inv
+						}
+					})
+				} else {
+					for i := range w {
+						basis[j+1][i] = w[i] * inv
+					}
+				}
+			}
+		}
+		if badShift {
+			siDone(sh, sp, opts.Observer, EventBreakdown, n, res.MatVecs, res.Lambda, res.Residual)
+			return res, fmt.Errorf("%w: µ = %g", ErrBadShift, mu)
+		}
+		if k == 0 {
+			siDone(sh, sp, opts.Observer, EventBreakdown, n, res.MatVecs, res.Lambda, res.Residual)
+			return res, errors.New("core: shift-invert Lanczos built an empty basis")
+		}
+		// Dominant Ritz pair of the k×k tridiagonal (of the transformed
+		// operator; its top eigenvalue θ maps back as λ = µ − 1/θ).
+		ph := beginPhase(sr, PhaseTridiag)
+		vals, vecs, err := tridiagEigenpairs(alpha[:k], beta[:max(k-1, 0)])
+		span.End(ph, int64(res.Restarts), int64(k))
+		if err != nil {
+			siDone(sh, sp, opts.Observer, EventBreakdown, n, res.MatVecs, res.Lambda, res.Residual)
+			return res, err
+		}
+		theta := vals[0]
+		if theta <= 0 {
+			// The transformed operator is SPD when µ > λ₀; a non-positive
+			// dominant Ritz value means the shift is unusable.
+			siDone(sh, sp, opts.Observer, EventBreakdown, n, res.MatVecs, res.Lambda, res.Residual)
+			return res, fmt.Errorf("%w: transformed Ritz value θ = %g ≤ 0 at µ = %g", ErrBadShift, theta, mu)
+		}
+		res.Lambda = mu - 1/theta
+		// Ritz vector x = Σ_j vecs[j][0]·basis[j] (built in q, normalized).
+		vec.Fill(q, 0)
+		for j := 0; j < k; j++ {
+			axpyInto(dev, vecs[j], basis[j], q)
+		}
+		nrm = norm2(dev, q)
+		if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+			siDone(sh, sp, opts.Observer, EventBreakdown, n, res.MatVecs, res.Lambda, res.Residual)
+			return res, fmt.Errorf("core: shift-invert Ritz vector collapsed at restart %d", res.Restarts)
+		}
+		scale(dev, q, 1/nrm)
+		// Explicit residual on the original operator.
+		ph = beginPhase(sr, PhaseResidual)
+		op.Apply(w, q)
+		res.MatVecs++
+		lambda := dot(dev, q, w) // Rayleigh quotient beats µ − 1/θ once close
+		res.Lambda = lambda
+		r := residual(dev, w, q, lambda)
+		span.End(ph, int64(res.Restarts), 0)
+		res.Residual = r
+		if sh != nil {
+			sh.o.SolveStep(SolveKindShiftInvert, res.MatVecs-lastMatVecs)
+		}
+		lastMatVecs = res.MatVecs
+		if opts.Observer != nil {
+			opts.Observer.Step(res.MatVecs, lambda, r)
+		}
+		if r <= tol {
+			res.Converged = true
+			orientPositive(q)
+			res.Vector = q
+			siDone(sh, sp, opts.Observer, EventConverged, n, res.MatVecs, lambda, r)
+			return res, nil
+		}
+	}
+	orientPositive(q)
+	res.Vector = q
+	siDone(sh, sp, opts.Observer, EventBudgetExhausted, n, res.MatVecs, res.Lambda, res.Residual)
+	return res, &ConvergenceError{
+		Reason:     ErrNoConvergence,
+		Iterations: res.MatVecs, Residual: res.Residual, BestResidual: res.Residual,
+		Shift: mu, Tol: tol,
+	}
+}
+
+func siDone(sh *solveHook, sp span.Handle, obs Observer, outcome string, dim, iters int, lambda, residual float64) {
+	powerDone(sh, sp, obs, SolveKindShiftInvert, outcome, dim, iters, lambda, residual)
+}
+
+// innerCG solves (µI − S)·y = rhs to relative tolerance rtol by conjugate
+// gradients, writing the solution into y (zero initial guess — rhs is a
+// fresh unit Lanczos direction each call, so there is no better seed). It
+// returns false when it encounters non-positive curvature, the symptom of
+// µ ≤ λ₀. matvecs/inner are incremented per S application / CG step.
+func innerCG(op Operator, dev *device.Device, y, rhs []float64, mu, rtol float64, maxIter int, r, p, ap []float64, matvecs, inner *int) bool {
+	n := len(y)
+	vec.Fill(y, 0)
+	copyInto(dev, r, rhs) // r = rhs − (µI−S)·0
+	copyInto(dev, p, r)
+	rs := dot(dev, r, r)
+	bnorm := math.Sqrt(rs)
+	if bnorm == 0 {
+		return true
+	}
+	threshold := rtol * bnorm
+	for it := 0; it < maxIter; it++ {
+		// ap ← (µI − S)·p
+		op.Apply(ap, p)
+		*matvecs++
+		*inner++
+		if dev != nil {
+			apd, pd := ap, p
+			dev.LaunchRange(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					apd[i] = mu*pd[i] - apd[i]
+				}
+			})
+		} else {
+			for i := range ap {
+				ap[i] = mu*p[i] - ap[i]
+			}
+		}
+		curv := dot(dev, p, ap)
+		if curv <= 0 || math.IsNaN(curv) {
+			return false // (µI − S) not positive definite along p: µ ≤ λ₀
+		}
+		a := rs / curv
+		axpyInto(dev, a, p, y)
+		axpyInto(dev, -a, ap, r)
+		rsNew := dot(dev, r, r)
+		if math.Sqrt(rsNew) <= threshold {
+			return true
+		}
+		b := rsNew / rs
+		rs = rsNew
+		// p ← r + b·p
+		if dev != nil {
+			pd, rd := p, r
+			dev.LaunchRange(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pd[i] = rd[i] + b*pd[i]
+				}
+			})
+		} else {
+			for i := range p {
+				p[i] = r[i] + b*p[i]
+			}
+		}
+	}
+	// Budget exhausted: accept the partial solve — the outer Lanczos only
+	// needs an approximate inverse direction, and the explicit residual on
+	// the original operator keeps correctness honest.
+	return true
+}
+
+// tridiagEigenpairs returns the eigenvalues (descending) of the symmetric
+// tridiagonal matrix and the components of the dominant eigenvector.
+func tridiagEigenpairs(alpha, beta []float64) ([]float64, []float64, error) {
+	k := len(alpha)
+	t := dense.NewMatrix(k, k)
+	for j := 0; j < k; j++ {
+		t.Set(j, j, alpha[j])
+		if j+1 < k {
+			t.Set(j, j+1, beta[j])
+			t.Set(j+1, j, beta[j])
+		}
+	}
+	vals, vecs, err := dense.JacobiEigen(t, 1e-15)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: tridiagonal eigensolve failed: %w", err)
+	}
+	top := make([]float64, k)
+	for j := 0; j < k; j++ {
+		top[j] = vecs.At(j, 0)
+	}
+	return vals, top, nil
+}

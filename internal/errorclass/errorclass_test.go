@@ -320,3 +320,57 @@ func TestMatrixAccessorsReturnCopies(t *testing.T) {
 		t.Error("MutationMatrix() must return a copy")
 	}
 }
+
+func TestSolveShiftInvertMatchesPowerSolve(t *testing.T) {
+	// The RQI shift-invert path must agree with the dense power path at
+	// every distance from the threshold, warm or cold, in a few dozen
+	// factorizations at most.
+	phi := make([]float64, 15)
+	phi[0] = 8
+	for k := 1; k < len(phi); k++ {
+		phi[k] = 1
+	}
+	nu := len(phi) - 1
+	pc := 1 - math.Pow(8, -1/float64(nu))
+	var warm []float64
+	for _, frac := range []float64{0.3, 0.8, 0.99, 1.01, 1.3} {
+		p := frac * pc
+		red, err := New(phi, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := red.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := red.SolveShiftInvertFrom(warm)
+		if err != nil {
+			t.Fatalf("p = %g: %v", p, err)
+		}
+		if math.Abs(got.Lambda-want.Lambda) > 1e-10*want.Lambda {
+			t.Fatalf("p = %g: λ = %.15g, power path %.15g", p, got.Lambda, want.Lambda)
+		}
+		for k := range want.Gamma {
+			if math.Abs(got.Gamma[k]-want.Gamma[k]) > 1e-9 {
+				t.Fatalf("p = %g: Gamma[%d] = %.12g, power path %.12g", p, k, got.Gamma[k], want.Gamma[k])
+			}
+		}
+		if got.Iterations > 200 {
+			t.Fatalf("p = %g: %d iterations — shift-invert should be O(10)", p, got.Iterations)
+		}
+		warm = got.Gamma
+	}
+}
+
+func TestSolveShiftInvertValidation(t *testing.T) {
+	red, err := New([]float64{2, 1, 1, 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.SolveShiftInvertFrom([]float64{1, 2}); err == nil {
+		t.Error("mis-sized start must be rejected")
+	}
+	if _, err := red.SolveShiftInvertFrom(make([]float64, 4)); err == nil {
+		t.Error("zero start must be rejected")
+	}
+}

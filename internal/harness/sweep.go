@@ -53,19 +53,48 @@ type SweepOptions struct {
 	// obs.Trace.Recorder is. Reduced sweeps ignore it.
 	Observe func(i int, p float64) core.Observer
 	// Progress, when non-nil, is called once per finished point with its
-	// solve cost and warm-start status. Calls arrive concurrently from the
-	// sweep workers; implementations must be safe for concurrent use.
-	Progress func(i int, p float64, iters int, warm bool)
+	// solve cost, warm-start status, and the solve method that produced
+	// it. Calls arrive concurrently from the sweep workers;
+	// implementations must be safe for concurrent use.
+	Progress func(i int, p float64, iters int, warm bool, method string)
+	// Method selects the per-point eigensolver gear of the sweep. The zero
+	// value (core.SolvePower) reproduces the historical power-iteration
+	// sweeps byte for byte; core.SolveAuto engages the adaptive selector
+	// (probe → power/chebyshev/shift-invert escalation ladder), which is
+	// what lets sweeps cross the critical window with bounded per-point
+	// iterations. Reduced sweeps map every non-power method onto the
+	// RQI/LU shift-invert path (errorclass.SolveShiftInvertFrom).
+	Method core.SolveMethod
 }
 
 // SweepStats instruments one sweep run.
 type SweepStats struct {
-	// Iterations[i] is the solver iteration count at point i.
+	// Iterations[i] is the solver cost at point i: power/RQI iterations on
+	// the classic paths, total matrix–vector products (probe included) on
+	// the adaptive path.
 	Iterations []int
 	// Warm[i] reports whether point i was warm-started.
 	Warm []bool
+	// Methods[i] names the solve method that produced point i ("power",
+	// "chebyshev", "shiftinvert", …). Nil for sweeps predating the
+	// adaptive engine's instrumentation.
+	Methods []string
+	// Escalations is the total number of abandoned gear attempts across
+	// the sweep (adaptive path only).
+	Escalations int
 	// Chains is the number of continuation chains the sweep was split into.
 	Chains int
+}
+
+// MethodCounts tallies sweep points by solve method.
+func (s *SweepStats) MethodCounts() map[string]int {
+	out := map[string]int{}
+	for _, m := range s.Methods {
+		if m != "" {
+			out[m]++
+		}
+	}
+	return out
 }
 
 // TotalIterations sums the per-point iteration counts.
@@ -98,8 +127,21 @@ func ThresholdSweepOpts(l landscape.Landscape, ps []float64, opts SweepOptions) 
 	if !ok {
 		return nil, nil, fmt.Errorf("harness: threshold sweep needs a class-based landscape, got %T", l)
 	}
+	// The reduced matrix is dense and (ν+1)²-small, so the method map is
+	// two-valued: the historical dense power path, or the RQI/LU
+	// shift-invert path whose factorization count stays O(10) across the
+	// critical window (every non-power method selects it — there is no
+	// Krylov machinery worth running at this size).
+	shiftInvert := opts.Method != core.SolvePower
+	methodName := core.SolvePower.String()
+	if shiftInvert {
+		methodName = core.SolveShiftInvert.String()
+	}
 	out := make([]ThresholdPoint, len(ps))
-	stats := &SweepStats{Iterations: make([]int, len(ps)), Warm: make([]bool, len(ps))}
+	stats := &SweepStats{
+		Iterations: make([]int, len(ps)), Warm: make([]bool, len(ps)),
+		Methods: make([]string, len(ps)),
+	}
 	chains := batch.Chains(len(ps), opts.ChainLen)
 	stats.Chains = len(chains)
 	err := batch.Run(len(chains), opts.Workers, func(ci int, _ *batch.Slot) error {
@@ -114,14 +156,20 @@ func ThresholdSweepOpts(l landscape.Landscape, ps []float64, opts SweepOptions) 
 				start = prev
 				stats.Warm[i] = true
 			}
-			res, err := red.SolveFrom(start)
+			var res *errorclass.Result
+			if shiftInvert {
+				res, err = red.SolveShiftInvertFrom(start)
+			} else {
+				res, err = red.SolveFrom(start)
+			}
 			if err != nil {
 				return fmt.Errorf("p = %g: %w", ps[i], err)
 			}
 			out[i] = ThresholdPoint{P: ps[i], Gamma: res.Gamma}
 			stats.Iterations[i] = res.Iterations
+			stats.Methods[i] = methodName
 			if opts.Progress != nil {
-				opts.Progress(i, ps[i], res.Iterations, stats.Warm[i])
+				opts.Progress(i, ps[i], res.Iterations, stats.Warm[i], methodName)
 			}
 			prev = res.Gamma
 		}
@@ -145,6 +193,17 @@ func ThresholdSweepFullOpts(q *mutation.Process, l landscape.Landscape, ps []flo
 	if err != nil {
 		return nil, nil, err
 	}
+	// The adaptive gears (Chebyshev, shift-invert, Lanczos) run in the
+	// Symmetric formulation; build the base operator once and share its
+	// landscape diagonals across the sweep like the Right one.
+	adaptive := opts.Method != core.SolvePower
+	var baseOpS *core.FmmpOperator
+	if adaptive {
+		baseOpS, err = core.NewFmmpOperator(q, l, core.Symmetric, opts.Dev)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = core.DefaultTolerance(l)
@@ -152,17 +211,41 @@ func ThresholdSweepFullOpts(q *mutation.Process, l landscape.Landscape, ps []flo
 	cold := core.FitnessStart(l) // shared read-only across slots
 	workers := batch.Workers(opts.Workers)
 	works := make([]*core.PowerWork, workers)
+	var aworks []*core.AdaptiveWork
+	if adaptive {
+		aworks = make([]*core.AdaptiveWork, workers)
+	}
 
 	out := make([]ThresholdPoint, len(ps))
-	stats := &SweepStats{Iterations: make([]int, len(ps)), Warm: make([]bool, len(ps))}
+	stats := &SweepStats{
+		Iterations: make([]int, len(ps)), Warm: make([]bool, len(ps)),
+		Methods: make([]string, len(ps)),
+	}
 	chains := batch.Chains(len(ps), opts.ChainLen)
 	stats.Chains = len(chains)
+	// Escalations accumulate per chain and are summed after the run, so the
+	// total never depends on worker interleaving.
+	escalations := make([]int, len(chains))
 	err = batch.Run(len(chains), opts.Workers, func(ci int, s *batch.Slot) error {
-		work := works[s.ID()]
-		if work == nil {
-			work = core.NewPowerWork(q.Dim())
-			works[s.ID()] = work
+		var work *core.PowerWork
+		var awork *core.AdaptiveWork
+		if adaptive {
+			awork = aworks[s.ID()]
+			if awork == nil {
+				awork = core.NewAdaptiveWork(q.Dim())
+				aworks[s.ID()] = awork
+			}
+		} else {
+			work = works[s.ID()]
+			if work == nil {
+				work = core.NewPowerWork(q.Dim())
+				works[s.ID()] = work
+			}
 		}
+		// Selector state is chain-local: a fresh zero value per chain keeps
+		// warm shifts (and with them the whole gear sequence) independent of
+		// which worker runs the chain.
+		var state core.MethodState
 		var prev []float64
 		for i := chains[ci].Lo; i < chains[ci].Hi; i++ {
 			p := ps[i]
@@ -176,32 +259,62 @@ func ThresholdSweepFullOpts(q *mutation.Process, l landscape.Landscape, ps []flo
 			}
 			start := cold
 			if opts.WarmStart && prev != nil {
-				start = prev // aliases the slot scratch; PowerIteration self-copies
+				start = prev // aliases the slot scratch; the solvers self-copy
 				stats.Warm[i] = true
 			}
 			var observer core.Observer
 			if opts.Observe != nil {
 				observer = opts.Observe(i, p)
 			}
-			res, err := core.PowerIteration(op, core.PowerOptions{
-				Tol:      tol,
-				MaxIter:  opts.MaxIter,
-				Start:    start,
-				Shift:    core.ConservativeShift(qp, l),
-				Dev:      opts.Dev,
-				Work:     work,
-				Observer: observer,
-			})
-			if err != nil {
-				return fmt.Errorf("p = %g: %w", p, err)
+			var x []float64
+			if adaptive {
+				opS, err := baseOpS.WithProcess(qp)
+				if err != nil {
+					return err
+				}
+				res, err := core.AdaptiveSolve(op, opS, core.AdaptiveOptions{
+					Method:     opts.Method,
+					Tol:        tol,
+					MaxIter:    opts.MaxIter,
+					PowerShift: core.ConservativeShift(qp, l),
+					Start:      start,
+					Dev:        opts.Dev,
+					Observer:   observer,
+					Work:       awork,
+					State:      &state,
+				})
+				if err != nil {
+					return fmt.Errorf("p = %g: %w", p, err)
+				}
+				stats.Iterations[i] = res.Iterations
+				stats.Methods[i] = res.Method.String()
+				escalations[ci] += res.Escalations
+				if opts.Progress != nil {
+					opts.Progress(i, p, res.Iterations, stats.Warm[i], stats.Methods[i])
+				}
+				x = res.Vector
+			} else {
+				res, err := core.PowerIteration(op, core.PowerOptions{
+					Tol:      tol,
+					MaxIter:  opts.MaxIter,
+					Start:    start,
+					Shift:    core.ConservativeShift(qp, l),
+					Dev:      opts.Dev,
+					Work:     work,
+					Observer: observer,
+				})
+				if err != nil {
+					return fmt.Errorf("p = %g: %w", p, err)
+				}
+				stats.Iterations[i] = res.Iterations
+				stats.Methods[i] = core.SolvePower.String()
+				if opts.Progress != nil {
+					opts.Progress(i, p, res.Iterations, stats.Warm[i], stats.Methods[i])
+				}
+				x = res.Vector
 			}
-			stats.Iterations[i] = res.Iterations
-			if opts.Progress != nil {
-				opts.Progress(i, p, res.Iterations, stats.Warm[i])
-			}
-			// res.Vector aliases work.x; normalizing it to concentrations
+			// x aliases the slot scratch; normalizing it to concentrations
 			// in place keeps its direction, so it stays a valid warm start.
-			x := res.Vector
 			if err := core.Concentrations(x); err != nil {
 				return err
 			}
@@ -216,6 +329,9 @@ func ThresholdSweepFullOpts(q *mutation.Process, l landscape.Landscape, ps []flo
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: %w", err)
+	}
+	for _, e := range escalations {
+		stats.Escalations += e
 	}
 	return out, stats, nil
 }
@@ -248,7 +364,12 @@ func LocateThresholdOpts(l landscape.Landscape, lo, hi, tol float64, opts SweepO
 		if err != nil {
 			return false, err
 		}
-		res, err := red.Solve()
+		var res *errorclass.Result
+		if opts.Method != core.SolvePower {
+			res, err = red.SolveShiftInvert()
+		} else {
+			res, err = red.Solve()
+		}
 		if err != nil {
 			return false, err
 		}

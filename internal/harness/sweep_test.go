@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/landscape"
 	"repro/internal/mutation"
@@ -225,5 +226,200 @@ func TestRunSweepBenchShort(t *testing.T) {
 	}
 	if res.WarmIterReductionPct <= 0 {
 		t.Errorf("warm start saved %.1f%% iterations, want > 0", res.WarmIterReductionPct)
+	}
+}
+
+// The adaptive engine must honor the same determinism contract as the
+// power path: with Method auto the gear selection, warm shifts, and
+// results are chain-local, so sweeps stay bit-identical at every worker
+// count — including across the critical window where the selector shifts
+// gears.
+func TestAdaptiveSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	const nu = 14
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, 0.01)
+	pc := 1 - math.Pow(2, -1/float64(nu))
+	// A grid that crosses p_c. On the cold sweep the point just past p_c
+	// stalls the power gear and escalates to Chebyshev; warm continuation
+	// legitimately keeps every point on power (the previous eigenvector is
+	// already inside the dominant subspace), so the downshift assertion is
+	// cold-only.
+	ps := sweepGrid(0.6*pc, 1.2*pc, 8)
+	for _, warm := range []bool{false, true} {
+		ref, stats, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{
+			Workers: 1, WarmStart: warm, Method: core.SolveAuto,
+		})
+		if err != nil {
+			t.Fatalf("warm=%v: %v", warm, err)
+		}
+		for i, m := range stats.Methods {
+			if m == "" {
+				t.Fatalf("warm=%v: point %d has no recorded method", warm, i)
+			}
+		}
+		counts := stats.MethodCounts()
+		if counts["power"] == 0 {
+			t.Errorf("warm=%v: no point far from the threshold used the power gear (%v)", warm, counts)
+		}
+		if !warm && counts["power"] == len(ps) {
+			t.Errorf("cold sweep: the selector never downshifted crossing p_c (%v)", counts)
+		}
+		for _, workers := range []int{2, 3} {
+			got, gstats, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{
+				Workers: workers, WarmStart: warm, Method: core.SolveAuto,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d warm=%v: %v", workers, warm, err)
+			}
+			requireIdentical(t, "adaptive sweep", ref, got)
+			for i := range stats.Methods {
+				if stats.Methods[i] != gstats.Methods[i] {
+					t.Fatalf("workers=%d warm=%v: point %d method %q vs %q",
+						workers, warm, i, stats.Methods[i], gstats.Methods[i])
+				}
+			}
+			if stats.Escalations != gstats.Escalations {
+				t.Errorf("workers=%d warm=%v: escalations %d vs %d",
+					workers, warm, stats.Escalations, gstats.Escalations)
+			}
+		}
+	}
+}
+
+// Inside the critical window the auto selector and a forced shift-invert
+// sweep solve the same eigenproblem by (possibly) different routes; their
+// concentration curves must agree to solver tolerance.
+func TestAdaptiveSweepAutoMatchesForcedShiftInvert(t *testing.T) {
+	const nu = 8
+	l, err := landscape.NewSinglePeak(nu, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mutation.MustUniform(nu, 0.01)
+	pc := 1 - math.Pow(2, -1/float64(nu))
+	ps := sweepGrid(0.95*pc, 1.02*pc, 5)
+	auto, _, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{
+		Workers: 1, WarmStart: true, Method: core.SolveAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, fstats, err := ThresholdSweepFullOpts(q, l, ps, SweepOptions{
+		Workers: 1, WarmStart: true, Method: core.SolveShiftInvert,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range auto {
+		for k := range auto[i].Gamma {
+			if d := math.Abs(auto[i].Gamma[k] - forced[i].Gamma[k]); d > 1e-8 {
+				t.Errorf("p=%g class %d: |auto−shiftinvert| = %g", ps[i], k, d)
+			}
+		}
+	}
+	for i, m := range fstats.Methods {
+		if m != "shiftinvert" {
+			t.Errorf("forced sweep point %d recorded method %q", i, m)
+		}
+	}
+}
+
+// The reduced sweep maps non-power methods onto the RQI/LU shift-invert
+// path; its curves must match the dense power path to solver tolerance and
+// stay bit-identical across worker counts.
+func TestReducedSweepShiftInvertMatchesPower(t *testing.T) {
+	const nu = 20
+	l, err := landscape.NewSinglePeak(nu, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sweepGrid(0.002, 0.09, 13)
+	power, _, err := ThresholdSweepOpts(l, ps, SweepOptions{Workers: 1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, stats, err := ThresholdSweepOpts(l, ps, SweepOptions{
+		Workers: 1, WarmStart: true, Method: core.SolveShiftInvert,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range power {
+		for k := range power[i].Gamma {
+			if d := math.Abs(power[i].Gamma[k] - si[i].Gamma[k]); d > 1e-9 {
+				t.Errorf("p=%g class %d: |power−shiftinvert| = %g", ps[i], k, d)
+			}
+		}
+	}
+	for i, m := range stats.Methods {
+		if m != "shiftinvert" {
+			t.Errorf("point %d recorded method %q, want shiftinvert", i, m)
+		}
+	}
+	for _, workers := range []int{2, 5} {
+		got, _, err := ThresholdSweepOpts(l, ps, SweepOptions{
+			Workers: workers, WarmStart: true, Method: core.SolveShiftInvert,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireIdentical(t, "reduced shift-invert sweep", si, got)
+	}
+}
+
+// LocateThresholdOpts must find the same transition whichever reduced
+// solver evaluates the order parameter.
+func TestLocateThresholdMethodAgreement(t *testing.T) {
+	const nu = 20
+	l, err := landscape.NewSinglePeak(nu, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := LocateThresholdOpts(l, 0.001, 0.4, 1e-4, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := LocateThresholdOpts(l, 0.001, 0.4, 1e-4, SweepOptions{Workers: 2, Method: core.SolveShiftInvert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(power-si) > 2e-4 {
+		t.Errorf("p_max: power %g vs shift-invert %g", power, si)
+	}
+}
+
+func TestRunCriticalBenchShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness exercised in long mode")
+	}
+	// A small window crossing: ν = 12 keeps the test fast while still
+	// exercising the grid layout, bit-identity check, and baseline capture.
+	res, err := RunCriticalBench(CriticalBenchConfig{Nu: 12, Points: 5, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BitIdentical {
+		t.Error("parallel adaptive sweep deviated from serial")
+	}
+	if len(res.Variants) != 3 {
+		t.Fatalf("%d variants, want 3", len(res.Variants))
+	}
+	if len(res.Grid) != 5 {
+		t.Fatalf("%d grid points, want 5", len(res.Grid))
+	}
+	for i, pt := range res.Grid {
+		if pt.Method == "" {
+			t.Errorf("grid point %d has no method", i)
+		}
+		if pt.Iterations <= 0 {
+			t.Errorf("grid point %d has no iteration count", i)
+		}
+	}
+	if res.Grid[0].FracPC >= 1 || res.Grid[len(res.Grid)-1].FracPC <= 1 {
+		t.Errorf("grid [%.3f, %.3f]·p_c does not cross the threshold",
+			res.Grid[0].FracPC, res.Grid[len(res.Grid)-1].FracPC)
 	}
 }

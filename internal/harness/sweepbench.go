@@ -5,7 +5,9 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/landscape"
 	"repro/internal/mutation"
@@ -35,6 +37,9 @@ type SweepBenchConfig struct {
 	Tol        float64
 	MaxIter    int
 	Dev        *device.Device
+	// Method selects the per-point eigensolver of every variant (zero value
+	// = the historical power path; see core.SolveMethod).
+	Method core.SolveMethod
 }
 
 // SweepBenchVariant is one measured sweep configuration.
@@ -44,6 +49,10 @@ type SweepBenchVariant struct {
 	Warm       bool    `json:"warm"`
 	Seconds    float64 `json:"seconds"`
 	Iterations int     `json:"iterations"` // total solver iterations over the sweep
+	// Methods tallies the variant's sweep points by the solve method that
+	// produced them (all "power" unless SweepBenchConfig.Method changes the
+	// gear).
+	Methods map[string]int `json:"methods,omitempty"`
 }
 
 // HostInfo records the execution environment of a benchmark run so stored
@@ -141,7 +150,7 @@ func RunSweepBench(cfg SweepBenchConfig) (*SweepBenchResult, error) {
 	run := func(name string, workers int, warm bool) ([]ThresholdPoint, error) {
 		opts := SweepOptions{
 			Workers: workers, WarmStart: warm, ChainLen: cfg.ChainLen,
-			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Dev: cfg.Dev,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Dev: cfg.Dev, Method: cfg.Method,
 		}
 		var pts []ThresholdPoint
 		var stats *SweepStats
@@ -155,6 +164,7 @@ func RunSweepBench(cfg SweepBenchConfig) (*SweepBenchResult, error) {
 		res.Variants = append(res.Variants, SweepBenchVariant{
 			Name: name, Workers: workers, Warm: warm,
 			Seconds: secs, Iterations: stats.TotalIterations(),
+			Methods: stats.MethodCounts(),
 		})
 		return pts, nil
 	}
@@ -188,6 +198,27 @@ func RunSweepBench(cfg SweepBenchConfig) (*SweepBenchResult, error) {
 	return res, nil
 }
 
+// FormatMethodCounts renders a method tally deterministically, e.g.
+// "power:12,shiftinvert:4" (keys sorted; "-" when empty).
+func FormatMethodCounts(m map[string]int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s:%d", k, m[k])
+	}
+	return out
+}
+
 // pointsIdentical reports bit-for-bit equality of two sweep results.
 func pointsIdentical(a, b []ThresholdPoint) bool {
 	if len(a) != len(b) {
@@ -219,12 +250,12 @@ func (r *SweepBenchResult) WriteTSV(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintln(w, "variant\tworkers\twarm\tseconds\titerations"); err != nil {
+	if _, err := fmt.Fprintln(w, "variant\tworkers\twarm\tseconds\titerations\tmethods"); err != nil {
 		return err
 	}
 	for _, v := range r.Variants {
-		if _, err := fmt.Fprintf(w, "%s\t%d\t%v\t%.6g\t%d\n",
-			v.Name, v.Workers, v.Warm, v.Seconds, v.Iterations); err != nil {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%v\t%.6g\t%d\t%s\n",
+			v.Name, v.Workers, v.Warm, v.Seconds, v.Iterations, FormatMethodCounts(v.Methods)); err != nil {
 			return err
 		}
 	}

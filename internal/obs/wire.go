@@ -179,10 +179,13 @@ func EnableSolverMetrics() {
 			outcomes: map[string]*Counter{},
 			lastRes:  r.GaugeFloat("qs_power_last_residual", "Residual reported by the most recently finished solve."),
 		}
-		for _, kind := range []string{core.SolveKindPower, core.SolveKindBlockPower} {
+		for _, kind := range []string{
+			core.SolveKindPower, core.SolveKindBlockPower,
+			core.SolveKindLanczos, core.SolveKindShiftInvert, core.SolveKindChebyshev,
+		} {
 			sm.solves[kind] = r.Counter(
 				`qs_power_solves_total{kind="`+kind+`"}`,
-				"Eigensolves started by kind (power, block_power).")
+				"Eigensolves started by kind (power, block_power, lanczos, shift_invert, chebyshev).")
 		}
 		for _, outcome := range []string{
 			core.EventConverged, core.EventStagnated, core.EventBudgetExhausted,

@@ -37,6 +37,30 @@ func TestEnableSolverMetricsEndToEnd(t *testing.T) {
 	}
 	RecordSweepPoint(0.01, res.Iterations, true)
 
+	// The Krylov gears must feed the same counter families (satellite of
+	// the adaptive engine: lanczos/shift_invert/chebyshev solve kinds).
+	opS, err := core.NewFmmpOperator(q, l, core.Symmetric, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Lanczos(opS, core.LanczosOptions{Tol: 1e-10}); err != nil {
+		t.Fatalf("Lanczos: %v", err)
+	}
+	if _, err := core.ShiftInvertLanczos(opS, core.ShiftInvertOptions{
+		Tol: 1e-10, Shift: core.UpperBoundLambda(l),
+	}); err != nil {
+		t.Fatalf("ShiftInvertLanczos: %v", err)
+	}
+	theta0, theta1, err := core.RitzGap(opS, 16, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.ChebyshevIteration(opS, core.ChebyshevOptions{
+		Tol: 1e-10, UpperEdge: theta1 + 0.5*(theta0-theta1),
+	}); err != nil {
+		t.Fatalf("ChebyshevIteration: %v", err)
+	}
+
 	srv, err := Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -58,6 +82,9 @@ func TestEnableSolverMetricsEndToEnd(t *testing.T) {
 		"qs_power_iterations_total",
 		"qs_power_residual_checks_total",
 		`qs_power_solves_total{kind="power"}`,
+		`qs_power_solves_total{kind="lanczos"}`,
+		`qs_power_solves_total{kind="shift_invert"}`,
+		`qs_power_solves_total{kind="chebyshev"}`,
 		`qs_power_outcomes_total{outcome="converged"}`,
 		"qs_sweep_points_total",
 		"qs_sweep_warm_hits_total",
@@ -74,6 +101,9 @@ func TestEnableSolverMetricsEndToEnd(t *testing.T) {
 		Default().Counter("qs_power_iterations_total", ""),
 		Default().Counter("qs_sweep_points_total", ""),
 		Default().Counter("qs_sweep_warm_hits_total", ""),
+		Default().Counter(`qs_power_solves_total{kind="lanczos"}`, ""),
+		Default().Counter(`qs_power_solves_total{kind="shift_invert"}`, ""),
+		Default().Counter(`qs_power_solves_total{kind="chebyshev"}`, ""),
 	} {
 		if m.Value() < 1 {
 			t.Errorf("metric stayed zero after instrumented solve")

@@ -34,9 +34,18 @@ type SweepOptions struct {
 	// The reduced sweep does not trace and ignores it.
 	Observe func(i int, p float64) SolveObserver
 	// Progress, when non-nil, is called once per finished sweep point with
-	// its solver iteration count and warm-start status. Calls arrive
-	// concurrently from the sweep workers.
-	Progress func(i int, p float64, iters int, warm bool)
+	// its solver iteration count, warm-start status, and the name of the
+	// solve method that produced it ("power", "chebyshev", "shiftinvert",
+	// …). Calls arrive concurrently from the sweep workers.
+	Progress func(i int, p float64, iters int, warm bool, method string)
+	// Method selects the per-point eigensolver: "" or "power" (the
+	// historical default, byte-for-byte identical to previous releases),
+	// "auto" (per-point adaptive selection — power far from the error
+	// threshold, Chebyshev-filtered restarts and shift-invert Lanczos
+	// inside the critical window), or a forced gear ("chebyshev",
+	// "shiftinvert", "lanczos"). Reduced sweeps map every non-power method
+	// onto the dense shift-invert (RQI) path.
+	Method string
 }
 
 // ThresholdCurve sweeps the error rate p over the given values for a
@@ -54,9 +63,13 @@ func ThresholdCurveWith(l Landscape, ps []float64, opts SweepOptions) ([]Thresho
 	if !l.valid() {
 		return nil, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
 	}
+	method, err := core.ParseSolveMethod(opts.Method)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidModel, err)
+	}
 	pts, _, err := harness.ThresholdSweepOpts(l.l, ps, harness.SweepOptions{
 		Workers: normalizeSweepWorkers(opts.Workers), WarmStart: opts.WarmStart,
-		Progress: opts.Progress,
+		Progress: opts.Progress, Method: method,
 	})
 	if err != nil {
 		return nil, err
@@ -81,9 +94,13 @@ func ThresholdCurveFullWith(l Landscape, ps []float64, opts SweepOptions) ([]Thr
 	if err != nil {
 		return nil, fmt.Errorf("quasispecies: %w", err)
 	}
+	method, err := core.ParseSolveMethod(opts.Method)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidModel, err)
+	}
 	hopts := harness.SweepOptions{
 		Workers: normalizeSweepWorkers(opts.Workers), WarmStart: opts.WarmStart,
-		Progress: opts.Progress,
+		Progress: opts.Progress, Method: method,
 	}
 	if opts.Observe != nil {
 		hopts.Observe = func(i int, p float64) core.Observer {
@@ -123,8 +140,12 @@ func LocateErrorThresholdWith(l Landscape, lo, hi, tol float64, opts SweepOption
 	if !l.valid() {
 		return 0, fmt.Errorf("%w: use the package constructors for Landscape", ErrInvalidModel)
 	}
+	method, err := core.ParseSolveMethod(opts.Method)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalidModel, err)
+	}
 	return harness.LocateThresholdOpts(l.l, lo, hi, tol, harness.SweepOptions{
-		Workers: normalizeSweepWorkers(opts.Workers),
+		Workers: normalizeSweepWorkers(opts.Workers), Method: method,
 	})
 }
 
