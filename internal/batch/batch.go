@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/span"
 )
 
@@ -99,10 +100,14 @@ func Workers(n int) int {
 // `workers` goroutines owns one Slot for the whole run and hands it to
 // every task it executes, so tasks can keep Θ(N) vectors (power-iteration
 // iterates, warm-start seeds) alive across the tasks of one worker without
-// re-allocating per task.
+// re-allocating per task. Vectors come from a slot-owned device.Arena —
+// cache-line aligned, huge-page advised, and packed per worker, so the
+// whole scratch of one worker is a handful of contiguous slabs whose pages
+// are first-touched (hence NUMA-placed) by the goroutine that sweeps them.
 type Slot struct {
-	id   int
-	bufs map[int][]float64
+	id    int
+	arena *device.Arena
+	bufs  map[int][]float64
 }
 
 // ID returns the slot's index in [0, workers).
@@ -110,16 +115,30 @@ func (s *Slot) ID() int { return s.id }
 
 // Vec returns the slot-owned float64 buffer with the given key, sized to
 // n. The buffer is reused across tasks (contents are arbitrary on entry);
-// it is grown or reshaped only when n changes.
+// it is grown or reshaped only when n changes. When any key is reshaped
+// the slot's arena is recycled wholesale: all keys are dropped and
+// re-grabbed at their next request, which keeps the arena from leaking
+// abandoned sizes across a sweep that changes ν.
 func (s *Slot) Vec(key, n int) []float64 {
 	if s.bufs == nil {
+		s.arena = device.NewArena(0)
 		s.bufs = make(map[int][]float64)
 	}
-	b := s.bufs[key]
-	if len(b) != n {
-		b = make([]float64, n)
-		s.bufs[key] = b
+	b, ok := s.bufs[key]
+	if ok && len(b) == n {
+		return b
 	}
+	if ok {
+		// Reshape: recycle every grab (they alias the recycled slabs, and
+		// the Vec contract already says contents are arbitrary on entry).
+		s.arena.Reset()
+		clear(s.bufs)
+	}
+	b = s.arena.Alloc(n)
+	for i := range b {
+		b[i] = 0
+	}
+	s.bufs[key] = b
 	return b
 }
 

@@ -116,7 +116,7 @@ func NewAdaptiveWork(n int) *AdaptiveWork {
 
 func (aw *AdaptiveWork) symBuf(n int) []float64 {
 	if len(aw.sym) != n {
-		aw.sym = make([]float64, n)
+		aw.sym = device.AllocVector(n)
 	}
 	return aw.sym
 }

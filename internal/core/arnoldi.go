@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/device"
 	"repro/internal/vec"
 )
 
@@ -65,7 +66,7 @@ func Arnoldi(op Operator, opts ArnoldiOptions) (ArnoldiResult, error) {
 		maxRestarts = 1000
 	}
 
-	q := make([]float64, n)
+	q := device.AllocVector(n)
 	if opts.Start != nil {
 		if len(opts.Start) != n {
 			return ArnoldiResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
@@ -81,10 +82,10 @@ func Arnoldi(op Operator, opts ArnoldiOptions) (ArnoldiResult, error) {
 
 	basis := make([][]float64, m)
 	for i := range basis {
-		basis[i] = make([]float64, n)
+		basis[i] = device.AllocVector(n)
 	}
 	h := dense.NewMatrix(m, m)
-	w := make([]float64, n)
+	w := device.AllocVector(n)
 
 	res := ArnoldiResult{BasisBytes: (m + 2) * n * 8}
 	prevResidual := math.Inf(1)

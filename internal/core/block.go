@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/device"
 	"repro/internal/span"
 	"repro/internal/vec"
 )
@@ -106,7 +107,7 @@ func BatchResiduals(op Operator, lambdas []float64, xs, scratch [][]float64) ([]
 	if scratch == nil {
 		scratch = make([][]float64, len(xs))
 		for j := range scratch {
-			scratch[j] = make([]float64, n)
+			scratch[j] = device.AllocVector(n)
 		}
 	} else if len(scratch) < len(xs) {
 		return nil, fmt.Errorf("core: %d scratch vectors for %d candidates", len(scratch), len(xs))
@@ -173,8 +174,8 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 	X := make([][]float64, k)
 	W := make([][]float64, k)
 	for j := range X {
-		X[j] = make([]float64, n)
-		W[j] = make([]float64, n)
+		X[j] = device.AllocVector(n)
+		W[j] = device.AllocVector(n)
 		for i := range X[j] {
 			// Deterministic, pairwise independent starts with overlap on
 			// every coordinate (cf. SecondEigenpair's start).

@@ -67,18 +67,18 @@ type ChebyshevWork struct {
 
 // NewChebyshevWork returns scratch for dimension-n solves.
 func NewChebyshevWork(n int) *ChebyshevWork {
-	return &ChebyshevWork{x: make([]float64, n), z: make([]float64, n), w: make([]float64, n)}
+	return &ChebyshevWork{x: device.AllocVector(n), z: device.AllocVector(n), w: device.AllocVector(n)}
 }
 
 func (cw *ChebyshevWork) vectors(n int) (x, z, w []float64) {
 	if len(cw.x) != n {
-		cw.x = make([]float64, n)
+		cw.x = device.AllocVector(n)
 	}
 	if len(cw.z) != n {
-		cw.z = make([]float64, n)
+		cw.z = device.AllocVector(n)
 	}
 	if len(cw.w) != n {
-		cw.w = make([]float64, n)
+		cw.w = device.AllocVector(n)
 	}
 	return cw.x, cw.z, cw.w
 }
@@ -137,9 +137,9 @@ func ChebyshevIteration(op Operator, opts ChebyshevOptions) (ChebyshevResult, er
 	if opts.Work != nil {
 		x, z, w = opts.Work.vectors(n)
 	} else {
-		x = make([]float64, n)
-		z = make([]float64, n)
-		w = make([]float64, n)
+		x = device.AllocVector(n)
+		z = device.AllocVector(n)
+		w = device.AllocVector(n)
 	}
 	if opts.Start != nil {
 		if len(opts.Start) != n {

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/device"
 	"repro/internal/span"
 	"repro/internal/vec"
 )
@@ -44,7 +45,7 @@ func SecondEigenpair(op Operator, dominant []float64, opts PowerOptions) (PowerR
 		stallChecks = 100
 	}
 
-	x := make([]float64, n)
+	x := device.AllocVector(n)
 	if opts.Start != nil {
 		if len(opts.Start) != n {
 			return PowerResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
@@ -63,7 +64,7 @@ func SecondEigenpair(op Operator, dominant []float64, opts PowerOptions) (PowerR
 	}
 	vec.Normalize2(x)
 
-	w := make([]float64, n)
+	w := device.AllocVector(n)
 	res := PowerResult{}
 	bestResidual := math.Inf(1)
 	stalled := 0

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/device"
 	"repro/internal/vec"
 )
 
@@ -41,7 +42,7 @@ func (kw *KrylovWork) krylov(n, k int) (basis [][]float64, alpha, beta, w []floa
 	}
 	for i := 0; i < k; i++ {
 		if len(kw.basis[i]) != n {
-			kw.basis[i] = make([]float64, n)
+			kw.basis[i] = device.AllocVector(n)
 		}
 	}
 	if len(kw.alpha) < k {
@@ -51,7 +52,7 @@ func (kw *KrylovWork) krylov(n, k int) (basis [][]float64, alpha, beta, w []floa
 		kw.beta = make([]float64, k)
 	}
 	if len(kw.w) != n {
-		kw.w = make([]float64, n)
+		kw.w = device.AllocVector(n)
 	}
 	return kw.basis[:k], kw.alpha[:k], kw.beta[:k], kw.w
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/device"
 	"repro/internal/span"
 	"repro/internal/vec"
 )
@@ -65,7 +66,7 @@ func Lanczos(op Operator, opts LanczosOptions) (LanczosResult, error) {
 		maxRestarts = 1000
 	}
 
-	q := make([]float64, n)
+	q := device.AllocVector(n)
 	if opts.Start != nil {
 		if len(opts.Start) != n {
 			return LanczosResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
@@ -81,11 +82,11 @@ func Lanczos(op Operator, opts LanczosOptions) (LanczosResult, error) {
 
 	basis := make([][]float64, m)
 	for i := range basis {
-		basis[i] = make([]float64, n)
+		basis[i] = device.AllocVector(n)
 	}
 	alpha := make([]float64, m)
 	beta := make([]float64, m) // beta[j] couples basis[j] and basis[j+1]
-	w := make([]float64, n)
+	w := device.AllocVector(n)
 
 	// Same hook discipline as PowerIteration: hoisted loads, no deferred
 	// closures, every exit path reports through powerDone.

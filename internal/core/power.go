@@ -79,16 +79,16 @@ type PowerWork struct {
 
 // NewPowerWork returns scratch for dimension-n solves.
 func NewPowerWork(n int) *PowerWork {
-	return &PowerWork{x: make([]float64, n), w: make([]float64, n)}
+	return &PowerWork{x: device.AllocVector(n), w: device.AllocVector(n)}
 }
 
 // vectors returns the iterate and product buffers, (re)sized to n.
 func (pw *PowerWork) vectors(n int) (x, w []float64) {
 	if len(pw.x) != n {
-		pw.x = make([]float64, n)
+		pw.x = device.AllocVector(n)
 	}
 	if len(pw.w) != n {
-		pw.w = make([]float64, n)
+		pw.w = device.AllocVector(n)
 	}
 	return pw.x, pw.w
 }
@@ -140,8 +140,8 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 	if opts.Work != nil {
 		x, w = opts.Work.vectors(n)
 	} else {
-		x = make([]float64, n)
-		w = make([]float64, n)
+		x = device.AllocVector(n)
+		w = device.AllocVector(n)
 	}
 	if opts.Start != nil {
 		if len(opts.Start) != n {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/device"
 	"repro/internal/mutation"
 	"repro/internal/vec"
 )
@@ -31,7 +32,7 @@ func InverseIterationQ(q *mutation.Process, mu float64, opts PowerOptions) (Powe
 	if maxIter <= 0 {
 		maxIter = 10000
 	}
-	x := make([]float64, n)
+	x := device.AllocVector(n)
 	if opts.Start != nil {
 		if len(opts.Start) != n {
 			return PowerResult{}, fmt.Errorf("core: start vector length %d, want %d", len(opts.Start), n)
@@ -43,7 +44,7 @@ func InverseIterationQ(q *mutation.Process, mu float64, opts PowerOptions) (Powe
 	}
 	vec.Normalize2(x)
 
-	w := make([]float64, n)
+	w := device.AllocVector(n)
 	res := PowerResult{}
 	for iter := 1; iter <= maxIter; iter++ {
 		res.Iterations = iter
@@ -105,7 +106,7 @@ func RayleighQuotientIterationQ(q *mutation.Process, start []float64, opts Power
 	x := vec.Clone(start)
 	vec.Normalize2(x)
 
-	w := make([]float64, n)
+	w := device.AllocVector(n)
 	res := PowerResult{}
 	copy(w, x)
 	q.Apply(w)

@@ -91,16 +91,16 @@ func NewShiftInvertWork(n int) *ShiftInvertWork {
 
 func (sw *ShiftInvertWork) vectors(n int) (r, p, ap, q []float64) {
 	if len(sw.r) != n {
-		sw.r = make([]float64, n)
+		sw.r = device.AllocVector(n)
 	}
 	if len(sw.p) != n {
-		sw.p = make([]float64, n)
+		sw.p = device.AllocVector(n)
 	}
 	if len(sw.ap) != n {
-		sw.ap = make([]float64, n)
+		sw.ap = device.AllocVector(n)
 	}
 	if len(sw.q) != n {
-		sw.q = make([]float64, n)
+		sw.q = device.AllocVector(n)
 	}
 	return sw.r, sw.p, sw.ap, sw.q
 }

@@ -1,0 +1,30 @@
+//go:build linux
+
+package device
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// pinThreadToCPUs restricts the calling OS thread to the given CPU set via
+// sched_setaffinity(2). The caller must have locked the goroutine to its
+// thread first (runtime.LockOSThread), or the pin would apply to whichever
+// thread happens to host it. Returns false (and changes nothing) on any
+// error — an invalid CPU id, a cpuset-restricted container — so pinning
+// stays strictly best-effort.
+func pinThreadToCPUs(cpus []int) bool {
+	if len(cpus) == 0 {
+		return false
+	}
+	var mask [16]uint64 // 1024 CPUs, the kernel's default CPU_SETSIZE
+	for _, c := range cpus {
+		if c < 0 || c >= len(mask)*64 {
+			return false
+		}
+		mask[c/64] |= 1 << uint(c%64)
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	return errno == 0
+}

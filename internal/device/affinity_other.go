@@ -1,0 +1,6 @@
+//go:build !linux
+
+package device
+
+// pinThreadToCPUs is unavailable off Linux; the pool runs unpinned.
+func pinThreadToCPUs(cpus []int) bool { return false }

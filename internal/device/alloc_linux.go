@@ -1,0 +1,30 @@
+//go:build linux
+
+package device
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// adviseHuge asks the kernel to back the 2 MiB-aligned interior of v with
+// transparent huge pages. The advice is best-effort: madvise on a Go-heap
+// range is legal (the heap is an anonymous private mapping, which THP
+// accepts), but the call can still fail — old kernels, THP disabled — and
+// every failure mode is silently ignored. Correctness never depends on it.
+func adviseHuge(v []float64) {
+	const huge = 2 << 20
+	lo := uintptr(unsafe.Pointer(&v[0]))
+	hi := lo + uintptr(len(v))*8
+	// Round inward to huge-page boundaries; advice on partial pages is
+	// useless and madvise wants page-aligned addresses anyway.
+	alo := (lo + huge - 1) &^ (huge - 1)
+	ahi := hi &^ (huge - 1)
+	if ahi <= alo {
+		return
+	}
+	const madvHugepage = 14 // MADV_HUGEPAGE
+	syscall.Syscall(syscall.SYS_MADVISE, alo, ahi-alo, madvHugepage)
+	runtime.KeepAlive(v)
+}

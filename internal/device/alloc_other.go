@@ -1,0 +1,7 @@
+//go:build !linux
+
+package device
+
+// adviseHuge is a no-op off Linux: alignment and first-touch still apply,
+// page-size advice does not exist portably.
+func adviseHuge(v []float64) {}

@@ -1,0 +1,123 @@
+package device
+
+import (
+	"sync"
+)
+
+// Arena is a bump allocator over CacheLine-aligned, huge-page-advised
+// slabs. It exists for the solver's per-worker scratch: a batch-engine slot
+// (or any other long-lived worker context) grabs its Θ(N) vectors from one
+// arena, so the vectors of one worker are packed into a handful of large
+// contiguous slabs instead of being scattered across the heap — fewer TLB
+// entries, denser huge-page coverage, and (with first-touch) single-node
+// placement for everything one worker owns.
+//
+// Arenas only grow: Alloc never frees, Reset recycles every slab at once.
+// That is exactly the slot lifetime — scratch lives for a whole sweep and
+// is dropped wholesale — and it is what keeps Alloc alloc-free in steady
+// state. An Arena is not safe for concurrent use; each worker owns its own.
+type Arena struct {
+	slabFloats int         // capacity of newly grown slabs
+	slabs      [][]float64 // all slabs ever grown, reused after Reset
+	cur        int         // index into slabs of the slab being bumped
+	off        int         // bump offset within slabs[cur]
+}
+
+// defaultSlabFloats is one huge page worth of float64s: slabs at least this
+// large make the huge-page advice in AlignedFloat64s effective for the
+// small grabs too.
+const defaultSlabFloats = 1 << 18
+
+// NewArena returns an empty arena whose slabs hold at least slabFloats
+// float64s each (≤ 0 selects one huge page, 2^18 float64s).
+func NewArena(slabFloats int) *Arena {
+	if slabFloats <= 0 {
+		slabFloats = defaultSlabFloats
+	}
+	return &Arena{slabFloats: slabFloats}
+}
+
+// Alloc returns a CacheLine-aligned slice of n float64s bumped off the
+// arena. The memory is zeroed the first time a slab is used and holds
+// arbitrary prior contents after a Reset — the Slot.Vec contract. n larger
+// than the slab size gets a dedicated slab. n ≤ 0 returns an empty slice.
+func (a *Arena) Alloc(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	// Round the bump step to a whole number of cache lines so the next
+	// grab starts aligned too.
+	step := (n + CacheLine/8 - 1) &^ (CacheLine/8 - 1)
+	for a.cur < len(a.slabs) {
+		s := a.slabs[a.cur]
+		if a.off+n <= len(s) {
+			v := s[a.off : a.off+n : a.off+n]
+			a.off += step
+			return v
+		}
+		a.cur++
+		a.off = 0
+	}
+	size := a.slabFloats
+	if n > size {
+		size = step
+	}
+	slab := AlignedFloat64s(size)
+	a.slabs = append(a.slabs, slab)
+	a.cur = len(a.slabs) - 1
+	if n == len(slab) {
+		// Dedicated slab: leave cur past it so the next small grab does
+		// not scan a full slab.
+		a.cur++
+		a.off = 0
+		return slab[:n:n]
+	}
+	a.off = step
+	return slab[:n:n]
+}
+
+// Reset makes every slab available again without releasing memory. Slices
+// handed out before the Reset alias the recycled slabs; callers must treat
+// Reset as invalidating all of them.
+func (a *Arena) Reset() {
+	a.cur = 0
+	a.off = 0
+}
+
+// Footprint returns the total float64 capacity held by the arena's slabs.
+func (a *Arena) Footprint() int {
+	total := 0
+	for _, s := range a.slabs {
+		total += len(s)
+	}
+	return total
+}
+
+// nodeArenas hands out one shared arena per NUMA node for callers that want
+// node-keyed rather than worker-keyed scratch. On single-node hosts this is
+// one arena for the whole process. Access is serialized per call; the
+// arenas themselves are still single-owner at a time (callers coordinate
+// longer-lived ownership themselves).
+var nodeArenas struct {
+	mu     sync.Mutex
+	arenas []*Arena
+}
+
+// NodeArena returns the process-wide arena of NUMA node k (clamped to the
+// detected topology). Callers that hold vectors across calls must not
+// Reset an arena they share.
+func NodeArena(k int) *Arena {
+	t := Topo()
+	if k < 0 {
+		k = 0
+	}
+	if k >= t.Nodes() {
+		k = t.Nodes() - 1
+	}
+	nodeArenas.mu.Lock()
+	defer nodeArenas.mu.Unlock()
+	for len(nodeArenas.arenas) < t.Nodes() {
+		nodeArenas.arenas = append(nodeArenas.arenas, NewArena(0))
+	}
+	return nodeArenas.arenas[k]
+}

@@ -7,23 +7,149 @@ import "math"
 // matrix–vector product; the paper notes (Section 4) that vector summation
 // parallelizes well enough that it has "almost no influence on the overall
 // execution time", and these kernels reproduce that behaviour.
+//
+// They sit inside every power/Lanczos iteration, so they are written to the
+// same kernel-floor discipline as the butterfly stages (see DESIGN.md §5.6):
+// each launch dispatches CHUNK bodies, not per-element closures — the old
+// ReduceSum(func(i)…) form paid an indirect call per element — and each
+// chunk body is a bounds-check-eliminated loop unrolled 4-wide.
+//
+// SUMMATION ORDER (the reduction contract): a reduction over [0, n) is
+// split into the device's chunks; within a chunk [lo, hi), accumulator
+// lane ℓ ∈ {0,1,2,3} sums elements lo+ℓ, lo+ℓ+4, lo+ℓ+8, …, the lanes
+// combine as ((s0+s1)+s2)+s3, and the ≤ 3 tail elements fold onto that in
+// index order. Chunk partials combine in ascending chunk order. The result
+// is therefore a pure function of (operands, n, chunk size): bit-identical
+// across runs and across schedules for a fixed Device, independent of
+// which worker executes which chunk. It differs from a strict serial left
+// fold by the usual O(ε·Σ|xᵢyᵢ|) regrouping error — the same reassociation
+// any chunked/parallel reduction already performed — and the solver
+// tolerances (≥1e-9) absorb it; tests pin the fixed-schedule bit-identity.
+
+// reduceChunks reduces chunkFn over the device's chunk partition of [0, n),
+// combining the per-chunk partials with combine in ascending chunk order.
+func (d *Device) reduceChunks(n int, identity float64, chunkFn func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	d.reduceLaunches.Add(1)
+	chunk, nchunks := d.plan(n, d.grain)
+	if nchunks == 1 || d.workers == 1 {
+		return combine(identity, chunkFn(0, n))
+	}
+	partial := make([]float64, nchunks)
+	d.run(LaunchKindReduce, n, chunk, nchunks, func(lo, hi int) {
+		partial[lo/chunk] = chunkFn(lo, hi)
+	})
+	acc := identity
+	for _, p := range partial {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+func addf(a, b float64) float64 { return a + b }
+
+// dotChunk is Σ x[k]·y[k] over one chunk in the documented 4-lane order.
+// The caller guarantees len(y) ≥ len(x); the re-slice makes the prover see
+// it, so the loop body runs without bounds checks.
+func dotChunk(x, y []float64) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	// Slice-advance loops: constant indexes on shrinking slices are the one
+	// form the go1.24 prover eliminates completely (counter loops keep a
+	// check per iteration — see scripts/check_bce.sh).
+	for len(x) >= 4 && len(y) >= 4 {
+		s0 += x[0] * y[0]
+		s1 += x[1] * y[1]
+		s2 += x[2] * y[2]
+		s3 += x[3] * y[3]
+		x, y = x[4:], y[4:]
+	}
+	s := ((s0 + s1) + s2) + s3
+	for len(x) > 0 && len(y) > 0 {
+		s += x[0] * y[0]
+		x, y = x[1:], y[1:]
+	}
+	return s
+}
 
 // Dot returns xᵀy computed with a parallel reduction.
 func (d *Device) Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("device: Dot length mismatch")
 	}
-	return d.ReduceSum(len(x), func(i int) float64 { return x[i] * y[i] })
+	return d.reduceChunks(len(x), 0, func(lo, hi int) float64 {
+		return dotChunk(x[lo:hi], y[lo:hi])
+	}, addf)
+}
+
+// sumChunk is Σ x[k] over one chunk in the documented 4-lane order.
+func sumChunk(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for len(x) >= 4 {
+		s0 += x[0]
+		s1 += x[1]
+		s2 += x[2]
+		s3 += x[3]
+		x = x[4:]
+	}
+	s := ((s0 + s1) + s2) + s3
+	for len(x) > 0 {
+		s += x[0]
+		x = x[1:]
+	}
+	return s
 }
 
 // Sum returns Σ xᵢ computed with a parallel reduction.
 func (d *Device) Sum(x []float64) float64 {
-	return d.ReduceSum(len(x), func(i int) float64 { return x[i] })
+	return d.reduceChunks(len(x), 0, func(lo, hi int) float64 {
+		return sumChunk(x[lo:hi])
+	}, addf)
+}
+
+// norm1Chunk is Σ |x[k]| over one chunk in the documented 4-lane order.
+func norm1Chunk(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for len(x) >= 4 {
+		s0 += math.Abs(x[0])
+		s1 += math.Abs(x[1])
+		s2 += math.Abs(x[2])
+		s3 += math.Abs(x[3])
+		x = x[4:]
+	}
+	s := ((s0 + s1) + s2) + s3
+	for len(x) > 0 {
+		s += math.Abs(x[0])
+		x = x[1:]
+	}
+	return s
 }
 
 // Norm1 returns ‖x‖₁ computed with a parallel reduction.
 func (d *Device) Norm1(x []float64) float64 {
-	return d.ReduceSum(len(x), func(i int) float64 { return math.Abs(x[i]) })
+	return d.reduceChunks(len(x), 0, func(lo, hi int) float64 {
+		return norm1Chunk(x[lo:hi])
+	}, addf)
+}
+
+// norm2SqChunk is Σ x[k]² over one chunk in the documented 4-lane order.
+func norm2SqChunk(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for len(x) >= 4 {
+		s0 += x[0] * x[0]
+		s1 += x[1] * x[1]
+		s2 += x[2] * x[2]
+		s3 += x[3] * x[3]
+		x = x[4:]
+	}
+	s := ((s0 + s1) + s2) + s3
+	for len(x) > 0 {
+		s += x[0] * x[0]
+		x = x[1:]
+	}
+	return s
 }
 
 // Norm2 returns ‖x‖₂ computed with a parallel reduction over squares.
@@ -31,33 +157,112 @@ func (d *Device) Norm1(x []float64) float64 {
 // √MaxFloat64; quasispecies concentration vectors are bounded by 1 so this
 // is not a concern on solver paths.
 func (d *Device) Norm2(x []float64) float64 {
-	return math.Sqrt(d.ReduceSum(len(x), func(i int) float64 { return x[i] * x[i] }))
+	return math.Sqrt(d.reduceChunks(len(x), 0, func(lo, hi int) float64 {
+		return norm2SqChunk(x[lo:hi])
+	}, addf))
+}
+
+// normInfChunk is max |x[k]| over one chunk. Max is associative and
+// commutative, so the 4-lane split is exact, not just deterministic; NaNs
+// propagate through math.Max exactly as in the serial fold.
+func normInfChunk(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for len(x) >= 4 {
+		s0 = math.Max(s0, math.Abs(x[0]))
+		s1 = math.Max(s1, math.Abs(x[1]))
+		s2 = math.Max(s2, math.Abs(x[2]))
+		s3 = math.Max(s3, math.Abs(x[3]))
+		x = x[4:]
+	}
+	s := math.Max(math.Max(s0, s1), math.Max(s2, s3))
+	for len(x) > 0 {
+		s = math.Max(s, math.Abs(x[0]))
+		x = x[1:]
+	}
+	return s
 }
 
 // NormInf returns ‖x‖∞ computed with a parallel max-reduction.
 func (d *Device) NormInf(x []float64) float64 {
-	return d.Reduce(len(x), 0,
-		func(i int) float64 { return math.Abs(x[i]) },
-		math.Max)
+	return d.reduceChunks(len(x), 0, func(lo, hi int) float64 {
+		return normInfChunk(x[lo:hi])
+	}, math.Max)
 }
 
-// Scale multiplies x by a in place with a parallel kernel.
+// residSqChunk is Σ (w[k] − λ·x[k])² over one chunk in the documented
+// 4-lane order.
+func residSqChunk(w, x []float64, lambda float64) float64 {
+	x = x[:len(w)]
+	var s0, s1, s2, s3 float64
+	for len(w) >= 4 && len(x) >= 4 {
+		r0 := w[0] - lambda*x[0]
+		r1 := w[1] - lambda*x[1]
+		r2 := w[2] - lambda*x[2]
+		r3 := w[3] - lambda*x[3]
+		s0 += r0 * r0
+		s1 += r1 * r1
+		s2 += r2 * r2
+		s3 += r3 * r3
+		w, x = w[4:], x[4:]
+	}
+	s := ((s0 + s1) + s2) + s3
+	for len(w) > 0 && len(x) > 0 {
+		r := w[0] - lambda*x[0]
+		s += r * r
+		w, x = w[1:], x[1:]
+	}
+	return s
+}
+
+// ResidualNorm2 returns ‖w − λx‖₂, the power-iteration residual
+// R(λ̃, x̃) of the paper, in one fused parallel pass over the operands.
+func (d *Device) ResidualNorm2(w, x []float64, lambda float64) float64 {
+	if len(w) != len(x) {
+		panic("device: ResidualNorm2 length mismatch")
+	}
+	return math.Sqrt(d.reduceChunks(len(w), 0, func(lo, hi int) float64 {
+		return residSqChunk(w[lo:hi], x[lo:hi], lambda)
+	}, addf))
+}
+
+// Scale multiplies x by a in place with a parallel kernel. The 4-wide
+// unroll touches each element exactly once with the same single multiply,
+// so results are bit-identical to the scalar loop.
 func (d *Device) Scale(x []float64, a float64) {
 	d.LaunchRange(len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] *= a
+		s := x[lo:hi]
+		for len(s) >= 4 {
+			s[0] *= a
+			s[1] *= a
+			s[2] *= a
+			s[3] *= a
+			s = s[4:]
+		}
+		for len(s) > 0 {
+			s[0] *= a
+			s = s[1:]
 		}
 	})
 }
 
-// AXPY computes y ← a·x + y in place with a parallel kernel.
+// AXPY computes y ← a·x + y in place with a parallel kernel. Element-wise,
+// so the unroll is bit-identical to the scalar loop.
 func (d *Device) AXPY(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("device: AXPY length mismatch")
 	}
 	d.LaunchRange(len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] += a * x[i]
+		xs, ys := x[lo:hi], y[lo:hi]
+		for len(xs) >= 4 && len(ys) >= 4 {
+			ys[0] += a * xs[0]
+			ys[1] += a * xs[1]
+			ys[2] += a * xs[2]
+			ys[3] += a * xs[3]
+			xs, ys = xs[4:], ys[4:]
+		}
+		for len(xs) > 0 && len(ys) > 0 {
+			ys[0] += a * xs[0]
+			xs, ys = xs[1:], ys[1:]
 		}
 	})
 }
@@ -79,20 +284,17 @@ func (d *Device) Mul(dst, x, y []float64) {
 		panic("device: Mul length mismatch")
 	}
 	d.LaunchRange(len(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = x[i] * y[i]
+		ds, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+		for len(ds) >= 4 && len(xs) >= 4 && len(ys) >= 4 {
+			ds[0] = xs[0] * ys[0]
+			ds[1] = xs[1] * ys[1]
+			ds[2] = xs[2] * ys[2]
+			ds[3] = xs[3] * ys[3]
+			ds, xs, ys = ds[4:], xs[4:], ys[4:]
+		}
+		for len(ds) > 0 && len(xs) > 0 && len(ys) > 0 {
+			ds[0] = xs[0] * ys[0]
+			ds, xs, ys = ds[1:], xs[1:], ys[1:]
 		}
 	})
-}
-
-// ResidualNorm2 returns ‖w − λx‖₂, the power-iteration residual
-// R(λ̃, x̃) of the paper, in one fused parallel pass over the operands.
-func (d *Device) ResidualNorm2(w, x []float64, lambda float64) float64 {
-	if len(w) != len(x) {
-		panic("device: ResidualNorm2 length mismatch")
-	}
-	return math.Sqrt(d.ReduceSum(len(w), func(i int) float64 {
-		r := w[i] - lambda*x[i]
-		return r * r
-	}))
 }

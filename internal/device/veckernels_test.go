@@ -1,0 +1,127 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vec"
+)
+
+// refFourLane reproduces the documented reduction order of one chunk —
+// lane ℓ sums elements ℓ, ℓ+4, …, lanes combine as ((s0+s1)+s2)+s3, tail
+// folds on in index order — for an arbitrary element function. The kernel
+// implementations must match it BIT-exactly.
+func refFourLane(n int, f func(k int) float64) float64 {
+	var lane [4]float64
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		for l := 0; l < 4; l++ {
+			lane[l] += f(k + l)
+		}
+	}
+	s := ((lane[0] + lane[1]) + lane[2]) + lane[3]
+	for ; k < n; k++ {
+		s += f(k)
+	}
+	return s
+}
+
+func TestChunkKernelsMatchDocumentedOrder(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 1023, 4096} {
+		x, y := randVec(r, n), randVec(r, n)
+		if got, want := dotChunk(x, y), refFourLane(n, func(k int) float64 { return x[k] * y[k] }); got != want {
+			t.Errorf("n=%d: dotChunk = %v, want %v (order contract)", n, got, want)
+		}
+		if got, want := sumChunk(x), refFourLane(n, func(k int) float64 { return x[k] }); got != want {
+			t.Errorf("n=%d: sumChunk = %v, want %v", n, got, want)
+		}
+		if got, want := norm1Chunk(x), refFourLane(n, func(k int) float64 { return math.Abs(x[k]) }); got != want {
+			t.Errorf("n=%d: norm1Chunk = %v, want %v", n, got, want)
+		}
+		if got, want := norm2SqChunk(x), refFourLane(n, func(k int) float64 { return x[k] * x[k] }); got != want {
+			t.Errorf("n=%d: norm2SqChunk = %v, want %v", n, got, want)
+		}
+		lambda := 0.37
+		if got, want := residSqChunk(x, y, lambda), refFourLane(n, func(k int) float64 {
+			r := x[k] - lambda*y[k]
+			return r * r
+		}); got != want {
+			t.Errorf("n=%d: residSqChunk = %v, want %v", n, got, want)
+		}
+		// Max is exactly order-independent; still must equal the serial max.
+		if got, want := normInfChunk(x), vec.NormInf(x); got != want {
+			t.Errorf("n=%d: normInfChunk = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestReductionsBitIdenticalAcrossRuns(t *testing.T) {
+	r := rng.New(11)
+	n := 100003 // odd: exercises chunk tails
+	x, y := randVec(r, n), randVec(r, n)
+	for name, d := range devices() {
+		dot, sum, n1, n2, ninf := d.Dot(x, y), d.Sum(x), d.Norm1(x), d.Norm2(x), d.NormInf(x)
+		res := d.ResidualNorm2(x, y, 0.4)
+		for run := 0; run < 20; run++ {
+			if d.Dot(x, y) != dot || d.Sum(x) != sum || d.Norm1(x) != n1 ||
+				d.Norm2(x) != n2 || d.NormInf(x) != ninf || d.ResidualNorm2(x, y, 0.4) != res {
+				t.Fatalf("%s: reduction not bit-identical across runs (run %d)", name, run)
+			}
+		}
+	}
+}
+
+func TestReductionsCloseToSerialVec(t *testing.T) {
+	r := rng.New(13)
+	n := 1 << 16
+	x, y := randVec(r, n), randVec(r, n)
+	for name, d := range devices() {
+		if got, want := d.Dot(x, y), vec.Dot(x, y); math.Abs(got-want) > 1e-9*math.Abs(want)+1e-12 {
+			t.Errorf("%s: Dot = %v, want ≈ %v", name, got, want)
+		}
+		if got, want := d.Norm2(x), vec.Norm2(x); math.Abs(got-want) > 1e-9*want+1e-12 {
+			t.Errorf("%s: Norm2 = %v, want ≈ %v", name, got, want)
+		}
+		want := 0.0
+		for i := range x {
+			rr := x[i] - 0.25*y[i]
+			want += rr * rr
+		}
+		want = math.Sqrt(want)
+		if got := d.ResidualNorm2(x, y, 0.25); math.Abs(got-want) > 1e-9*want+1e-12 {
+			t.Errorf("%s: ResidualNorm2 = %v, want ≈ %v", name, got, want)
+		}
+	}
+}
+
+func TestElementwiseKernelsBitIdenticalToVec(t *testing.T) {
+	r := rng.New(17)
+	for _, n := range []int{0, 1, 3, 4, 5, 1000, 99991} {
+		x, y := randVec(r, n), randVec(r, n)
+		for name, d := range devices() {
+			xs, ys := append([]float64(nil), x...), append([]float64(nil), y...)
+			xd, yd := append([]float64(nil), x...), append([]float64(nil), y...)
+
+			vec.AXPY(1.75, xs, ys)
+			d.AXPY(1.75, xd, yd)
+			if n > 0 && vec.DistInf(ys, yd) != 0 {
+				t.Fatalf("%s n=%d: AXPY not bit-identical to vec.AXPY", name, n)
+			}
+
+			vec.Scale(xs, 0.3)
+			d.Scale(xd, 0.3)
+			if n > 0 && vec.DistInf(xs, xd) != 0 {
+				t.Fatalf("%s n=%d: Scale not bit-identical to vec.Scale", name, n)
+			}
+
+			ms, md := make([]float64, n), make([]float64, n)
+			vec.Mul(ms, xs, ys)
+			d.Mul(md, xd, yd)
+			if n > 0 && vec.DistInf(ms, md) != 0 {
+				t.Fatalf("%s n=%d: Mul not bit-identical to vec.Mul", name, n)
+			}
+		}
+	}
+}

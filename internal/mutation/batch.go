@@ -93,7 +93,12 @@ func (q *Process) ApplyBatchDevice(d *device.Device, vs [][]float64) {
 }
 
 // applyStagesBlockedBatch is applyStagesBlocked over K vectors with the
-// vector loop innermost at every level of the traversal.
+// vector loop innermost at every level of the traversal, unrolled over K:
+// vectors stream through each tile (resp. row block) of the shared stage
+// plan TWO at a time via the dual-vector stage walks below, so the stage
+// dispatch, butterfly-kind classification and factor loads amortize across
+// the pair. Per vector the arithmetic is exactly that of the single-vector
+// walk, so the unroll preserves bit-identity with Apply.
 func applyStagesBlockedBatch(vs [][]float64, off0 int, fs []Factor2, tb, fuse int) {
 	n := len(vs[0])
 	if n == 0 || len(fs) == 0 {
@@ -109,8 +114,12 @@ func applyStagesBlockedBatch(vs [][]float64, off0 int, fs []Factor2, tb, fuse in
 	if nSmall > 0 {
 		small := fs[:nSmall]
 		for t := 0; t < n; t += B {
-			for _, v := range vs {
-				tileStages(v[t:t+B], off0, small)
+			kv := 0
+			for ; kv+2 <= len(vs); kv += 2 {
+				tileStagesDual(vs[kv][t:t+B], vs[kv+1][t:t+B], off0, small)
+			}
+			if kv < len(vs) {
+				tileStages(vs[kv][t:t+B], off0, small)
 			}
 		}
 	}
@@ -125,11 +134,106 @@ func applyStagesBlockedBatch(vs [][]float64, off0 int, fs []Factor2, tb, fuse in
 		nBases := (n >> uint(log2(B))) >> uint(m)
 		for bb := 0; bb < nBases; bb++ {
 			base := ((bb &^ lowMask) << uint(m)) | (bb & lowMask)
-			for _, v := range vs {
-				crossGroup(v, B, base, rb0, group)
+			kv := 0
+			for ; kv+2 <= len(vs); kv += 2 {
+				crossGroupDual(vs[kv], vs[kv+1], B, base, rb0, group)
+			}
+			if kv < len(vs) {
+				crossGroup(vs[kv], B, base, rb0, group)
 			}
 		}
 		s += m
+	}
+}
+
+// tileStagesDual is tileStages applied to the same tile index of two
+// vectors: one walk of the stage plan, each fused kernel invoked on both
+// tiles back to back while the stage's factors sit in registers. Rounding
+// per vector is identical to the single-vector walk.
+func tileStagesDual(ta, tb []float64, off0 int, fs []Factor2) {
+	s := 0
+	for ; s+1 < len(fs); s += 2 {
+		f1, f2 := &fs[s], &fs[s+1]
+		stride := 1 << uint(off0+s)
+		k1, k2 := butterflyKind(f1), butterflyKind(f2)
+		switch {
+		case k1 == kindStochastic && k2 == kindStochastic:
+			tilePairStochastic(ta, stride, f1.B, f2.B)
+			tilePairStochastic(tb, stride, f1.B, f2.B)
+		case k1 == kindUnitDiff && k2 == kindUnitDiff:
+			tilePairUnitDiff(ta, stride, f1.B, f2.B)
+			tilePairUnitDiff(tb, stride, f1.B, f2.B)
+		default:
+			tileStage(ta, stride, f1)
+			tileStage(tb, stride, f1)
+			tileStage(ta, 2*stride, f2)
+			tileStage(tb, 2*stride, f2)
+		}
+	}
+	if s < len(fs) {
+		stride := 1 << uint(off0+s)
+		tileStage(ta, stride, &fs[s])
+		tileStage(tb, stride, &fs[s])
+	}
+}
+
+// crossGroupDual is crossGroup applied to the same row block of two
+// vectors: the row gather, chunk split and per-stage kind dispatch run
+// once, each fused kernel sweeping the chunk of both vectors in turn.
+func crossGroupDual(va, vb []float64, B, baseRow, rb0 int, fs []Factor2) {
+	m := len(fs)
+	size := 1 << uint(m)
+	var rpa, rpb [1 << maxFuseStages][]float64
+	for t := 0; t < size; t++ {
+		r := baseRow | t<<uint(rb0)
+		rpa[t] = va[r*B : r*B+B]
+		rpb[t] = vb[r*B : r*B+B]
+	}
+	colChunk := colChunkFor(size, B)
+	for c0 := 0; c0 < B; c0 += colChunk {
+		c1 := c0 + colChunk
+		if c1 > B {
+			c1 = B
+		}
+		s := 0
+		for ; s+1 < m; s += 2 {
+			f1, f2 := &fs[s], &fs[s+1]
+			k1, k2 := butterflyKind(f1), butterflyKind(f2)
+			bit1, bit2 := 1<<uint(s), 2<<uint(s)
+			switch {
+			case k1 == kindStochastic && k2 == kindStochastic:
+				b1, b2 := f1.B, f2.B
+				for t := 0; t < size; t++ {
+					if t&(bit1|bit2) != 0 {
+						continue
+					}
+					crossQuadStochastic(rpa[t][c0:c1], rpa[t|bit1][c0:c1],
+						rpa[t|bit2][c0:c1], rpa[t|bit1|bit2][c0:c1], b1, b2)
+					crossQuadStochastic(rpb[t][c0:c1], rpb[t|bit1][c0:c1],
+						rpb[t|bit2][c0:c1], rpb[t|bit1|bit2][c0:c1], b1, b2)
+				}
+			case k1 == kindUnitDiff && k2 == kindUnitDiff:
+				b1, b2 := f1.B, f2.B
+				for t := 0; t < size; t++ {
+					if t&(bit1|bit2) != 0 {
+						continue
+					}
+					crossQuadUnitDiff(rpa[t][c0:c1], rpa[t|bit1][c0:c1],
+						rpa[t|bit2][c0:c1], rpa[t|bit1|bit2][c0:c1], b1, b2)
+					crossQuadUnitDiff(rpb[t][c0:c1], rpb[t|bit1][c0:c1],
+						rpb[t|bit2][c0:c1], rpb[t|bit1|bit2][c0:c1], b1, b2)
+				}
+			default:
+				crossStage(rpa[:size], c0, c1, s, f1)
+				crossStage(rpb[:size], c0, c1, s, f1)
+				crossStage(rpa[:size], c0, c1, s+1, f2)
+				crossStage(rpb[:size], c0, c1, s+1, f2)
+			}
+		}
+		if s < m {
+			crossStage(rpa[:size], c0, c1, s, &fs[s])
+			crossStage(rpb[:size], c0, c1, s, &fs[s])
+		}
 	}
 }
 

@@ -84,14 +84,7 @@ func (x *Xmvp) MaskCount() int { return len(x.masks) }
 // dst must not alias v.
 func (x *Xmvp) Apply(dst, v []float64) {
 	x.checkDims(dst, v)
-	for i := range dst {
-		var s float64
-		ui := uint64(i)
-		for mi, m := range x.masks {
-			s += x.values[mi] * v[ui^m]
-		}
-		dst[i] = s
-	}
+	x.applyRows(dst, v, 0, x.n)
 }
 
 // ApplyDevice is Apply with the row loop distributed over device workers;
@@ -99,15 +92,35 @@ func (x *Xmvp) Apply(dst, v []float64) {
 func (x *Xmvp) ApplyDevice(d *device.Device, dst, v []float64) {
 	x.checkDims(dst, v)
 	d.LaunchRange(x.n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			ui := uint64(i)
-			for mi, m := range x.masks {
-				s += x.values[mi] * v[ui^m]
-			}
-			dst[i] = s
-		}
+		x.applyRows(dst, v, lo, hi)
 	})
+}
+
+// applyRows computes rows [lo, hi) of dst ← Q·v. The value table is
+// re-sliced to the mask table's length so the paired loads run without
+// bounds checks, and the mask loop is unrolled 4-wide WITHOUT changing the
+// accumulation order (s gathers the products strictly left to right, as in
+// the scalar loop), so sparsification-accuracy results are unchanged. Only
+// the gather v[ui^m] keeps its check — its index is data-dependent.
+func (x *Xmvp) applyRows(dst, v []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		ui := uint64(i)
+		ms, vals := x.masks, x.values[:len(x.masks)]
+		for len(ms) >= 4 && len(vals) >= 4 {
+			p0 := vals[0] * v[ui^ms[0]]
+			p1 := vals[1] * v[ui^ms[1]]
+			p2 := vals[2] * v[ui^ms[2]]
+			p3 := vals[3] * v[ui^ms[3]]
+			s = ((s + p0 + p1) + p2) + p3
+			ms, vals = ms[4:], vals[4:]
+		}
+		for len(ms) > 0 && len(vals) > 0 {
+			s += vals[0] * v[ui^ms[0]]
+			ms, vals = ms[1:], vals[1:]
+		}
+		dst[i] = s
+	}
 }
 
 func (x *Xmvp) checkDims(dst, v []float64) {

@@ -1,0 +1,59 @@
+#!/bin/sh
+# check_bce.sh — bounds-check-elimination regression lint for the kernel floor.
+#
+# Builds the hot-kernel packages with the SSA prover's check_bce debug pass
+# and diffs the findings against the committed allowlist. Every entry in the
+# allowlist is a KNOWN, amortized check: per-tile/per-row-block slice headers,
+# per-stage factor loads, data-dependent gathers (Xmvp's v[i^mask]), panic
+# guards — checks that execute once per block or launch, not once per element.
+# The per-element inner loops of blocked.go / fwht.go / xmvp.go /
+# veckernels.go are written in the slice-advance idiom (constant indexes on a
+# shrinking slice), which the go1.24 prover discharges completely, so NO
+# finding in this lint sits inside a hot element loop.
+#
+# A new finding means an edit re-introduced a bounds check — rewrite the loop
+# (see DESIGN.md §5.6) or, if the check is genuinely amortized, regenerate
+# the allowlist:
+#
+#   scripts/check_bce.sh -update
+#
+# Exit status: 0 clean, 1 findings differ from the allowlist.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PKGS="./internal/mutation/ ./internal/vec/ ./internal/device/"
+ALLOW=scripts/bce_allowlist.txt
+GOFLAGS_BCE='-gcflags=-d=ssa/check_bce'
+
+# -a defeats the build cache so the compiler actually re-emits diagnostics;
+# sort -u makes the listing stable across compile orders.
+current() {
+	# shellcheck disable=SC2086
+	go build -a $GOFLAGS_BCE $PKGS 2>&1 |
+		grep -E 'Found (IsInBounds|IsSliceInBounds)' |
+		sort -u
+}
+
+if [ "${1:-}" = "-update" ]; then
+	current >"$ALLOW"
+	echo "check_bce: wrote $(wc -l <"$ALLOW" | tr -d ' ') findings to $ALLOW"
+	exit 0
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+current >"$tmp"
+
+if cmp -s "$tmp" "$ALLOW"; then
+	echo "check_bce: OK ($(wc -l <"$ALLOW" | tr -d ' ') allowlisted findings, none new)"
+	exit 0
+fi
+
+echo "check_bce: bounds-check findings differ from $ALLOW" >&2
+echo "--- new findings (not in allowlist):" >&2
+grep -Fxv -f "$ALLOW" "$tmp" >&2 || true
+echo "--- stale allowlist entries (no longer emitted):" >&2
+grep -Fxv -f "$tmp" "$ALLOW" >&2 || true
+echo "If every new finding is an amortized per-block check, run: scripts/check_bce.sh -update" >&2
+exit 1
