@@ -80,6 +80,7 @@ type workload struct {
 	points  int
 	reps    int
 	workers int
+	hwc     bool
 	ledger  string
 	label   string
 }
@@ -92,9 +93,49 @@ func workloadFlags(fs *flag.FlagSet) *workload {
 	fs.IntVar(&w.points, "points", 9, "grid points of the critical workload")
 	fs.IntVar(&w.reps, "reps", 3, "repetitions (the fastest is recorded)")
 	fs.IntVar(&w.workers, "workers", 1, "compute workers (1 = serial)")
+	fs.BoolVar(&w.hwc, "hwc", false, "attribute hardware counters to the profile and record per-phase IPC / cache-miss-rate in the ledger entry (degrades to wall-time-only when counters are unavailable)")
 	fs.StringVar(&w.ledger, "ledger", perf.DefaultLedgerPath, "ledger file")
 	fs.StringVar(&w.label, "label", "", "ledger label (default derived from the workload)")
 	return w
+}
+
+// profileRecord converts one profiled repetition into a ledger record,
+// carrying the hardware-counter columns when the profile attributed any.
+func profileRecord(w *workload, prof *quasispecies.SpanProfile) perf.Record {
+	phases := prof.Phases()
+	rec := perf.Record{
+		Label: w.resolveLabel(), Reps: w.reps, Nu: w.nu,
+		WallSeconds: prof.Wall().Seconds(),
+		Phases:      make([]perf.PhaseStat, len(phases)),
+	}
+	if w.hwc {
+		rec.HWCActive = prof.HWCActive()
+		rec.HWCReason = prof.HWCReason()
+	}
+	for i, ph := range phases {
+		ps := perf.PhaseStat{
+			Layer: ph.Layer, Name: ph.Name, Count: ph.Count,
+			TotalSeconds: ph.Total.Seconds(), SelfSeconds: ph.Self.Seconds(),
+		}
+		if ph.HWCSamples > 0 {
+			ps.HWCSamples = ph.HWCSamples
+			ps.IPC = ph.IPC
+			ps.CacheMissRate = ph.CacheMissRate
+		}
+		rec.Phases[i] = ps
+	}
+	return rec
+}
+
+// startProfile opens the repetition's span profile, with counters when
+// the workload asked for them. The degradation reason is reported once
+// (first repetition) and preserved in the record.
+func startProfile(w *workload, rep int) *quasispecies.SpanProfile {
+	prof := quasispecies.StartSpanProfileOpts(quasispecies.SpanProfileOptions{HWC: w.hwc})
+	if w.hwc && rep == 0 && !prof.HWCActive() {
+		fmt.Fprintf(os.Stderr, "qs-perf: hardware counters unavailable, recording wall-time phases only (%s)\n", prof.HWCReason())
+	}
+	return prof
 }
 
 func (w *workload) resolveLabel() string {
@@ -141,29 +182,18 @@ func measureSolve(w *workload) (perf.Record, error) {
 
 	var best perf.Record
 	for r := 0; r < w.reps; r++ {
-		prof := quasispecies.StartSpanProfile(0)
+		prof := startProfile(w, r)
 		sol, err := model.Solve()
 		prof.Stop()
 		if err != nil {
 			return perf.Record{}, fmt.Errorf("rep %d: %w", r+1, err)
 		}
-		wall := prof.Wall().Seconds()
-		if r > 0 && wall >= best.WallSeconds {
+		if r > 0 && prof.Wall().Seconds() >= best.WallSeconds {
 			continue
 		}
-		phases := prof.Phases()
-		rec := perf.Record{
-			Label: w.resolveLabel(), Nu: w.nu, P: w.p, Method: "fmmp",
-			Reps: w.reps, WallSeconds: wall,
-			Iterations: sol.Iterations, Lambda: sol.Lambda,
-			Phases: make([]perf.PhaseStat, len(phases)),
-		}
-		for i, ph := range phases {
-			rec.Phases[i] = perf.PhaseStat{
-				Layer: ph.Layer, Name: ph.Name, Count: ph.Count,
-				TotalSeconds: ph.Total.Seconds(), SelfSeconds: ph.Self.Seconds(),
-			}
-		}
+		rec := profileRecord(w, prof)
+		rec.P, rec.Method = w.p, "fmmp"
+		rec.Iterations, rec.Lambda = sol.Iterations, sol.Lambda
 		best = rec
 	}
 	best.Time = time.Now().UTC().Format(time.RFC3339)
@@ -196,7 +226,7 @@ func measureCritical(w *workload) (perf.Record, error) {
 
 	var best perf.Record
 	for r := 0; r < w.reps; r++ {
-		prof := quasispecies.StartSpanProfile(0)
+		prof := startProfile(w, r)
 		var stats *harness.SweepStats
 		_, stats, err = harness.ThresholdSweepFullOpts(q, l, ps, harness.SweepOptions{
 			Workers: w.workers, WarmStart: true, Method: core.SolveAuto,
@@ -205,23 +235,12 @@ func measureCritical(w *workload) (perf.Record, error) {
 		if err != nil {
 			return perf.Record{}, fmt.Errorf("rep %d: %w", r+1, err)
 		}
-		wall := prof.Wall().Seconds()
-		if r > 0 && wall >= best.WallSeconds {
+		if r > 0 && prof.Wall().Seconds() >= best.WallSeconds {
 			continue
 		}
-		phases := prof.Phases()
-		rec := perf.Record{
-			Label: w.resolveLabel(), Nu: w.nu, P: ps[len(ps)-1], Method: "adaptive-sweep",
-			Reps: w.reps, WallSeconds: wall,
-			Iterations: stats.TotalIterations(),
-			Phases:     make([]perf.PhaseStat, len(phases)),
-		}
-		for i, ph := range phases {
-			rec.Phases[i] = perf.PhaseStat{
-				Layer: ph.Layer, Name: ph.Name, Count: ph.Count,
-				TotalSeconds: ph.Total.Seconds(), SelfSeconds: ph.Self.Seconds(),
-			}
-		}
+		rec := profileRecord(w, prof)
+		rec.P, rec.Method = ps[len(ps)-1], "adaptive-sweep"
+		rec.Iterations = stats.TotalIterations()
 		best = rec
 	}
 	best.Time = time.Now().UTC().Format(time.RFC3339)
@@ -241,8 +260,12 @@ func runRecord(argv []string) error {
 	if err := perf.Append(w.ledger, rec); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %s: wall %.4gs, %d iterations, %d phases → %s\n",
-		rec.Label, rec.WallSeconds, rec.Iterations, len(rec.Phases), w.ledger)
+	hwcNote := ""
+	if rec.HWCActive {
+		hwcNote = " (with hardware counters)"
+	}
+	fmt.Printf("recorded %s: wall %.4gs, %d iterations, %d phases%s → %s\n",
+		rec.Label, rec.WallSeconds, rec.Iterations, len(rec.Phases), hwcNote, w.ledger)
 	return nil
 }
 
@@ -250,6 +273,7 @@ func runCheck(argv []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	w := workloadFlags(fs)
 	threshold := fs.Float64("threshold", 0.25, "relative phase growth that fails the check")
+	ipcThreshold := fs.Float64("ipc-threshold", 0.15, "relative per-phase IPC drop (or cache-miss-rate rise) that triggers the ADVISORY hardware-counter warning; never fails the check")
 	absolute := fs.Bool("absolute", false, "gate absolute seconds instead of share-of-wall (same-machine baselines only)")
 	update := fs.Bool("update", false, "also append the measured run to the ledger")
 	fs.Parse(argv)
@@ -275,6 +299,21 @@ func runCheck(argv []string) error {
 	}
 	if err := perf.FormatCompare(os.Stdout, base, cur); err != nil {
 		return err
+	}
+	// The hardware-counter gate is advisory: IPC varies with the host CPU,
+	// so drift is reported next to the verdict but never fails the check.
+	if drifts, both := perf.IPCGate(base, cur, *ipcThreshold, 0); both {
+		if len(drifts) == 0 {
+			fmt.Printf("hwc advisory: per-phase IPC and cache-miss rates within %.0f%% of the baseline\n", *ipcThreshold*100)
+		} else {
+			fmt.Printf("hwc advisory: %d phase(s) drifted more than %.0f%% (informational, does not fail the check):\n",
+				len(drifts), *ipcThreshold*100)
+			for _, d := range drifts {
+				fmt.Println("  ", d.String())
+			}
+		}
+	} else if w.hwc {
+		fmt.Println("hwc advisory: skipped (baseline or current run has no counter data)")
 	}
 	violations := perf.Gate(base, cur, perf.GateOptions{
 		Threshold: *threshold, AbsoluteSeconds: *absolute,

@@ -75,6 +75,7 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
 		spans      = flag.Bool("spans", false, "profile the run with hierarchical spans and print the per-phase time table to stderr")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
+		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; extras via QS_HWC_EVENTS)")
 	)
 	flag.Parse()
 	if *tile > 0 {
@@ -86,8 +87,11 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "qs-solverbench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
-	if *spans || *spanOut != "" {
-		sprof := quasispecies.StartSpanProfile(0)
+	if *spans || *spanOut != "" || *hwcFlag {
+		sprof := quasispecies.StartSpanProfileOpts(quasispecies.SpanProfileOptions{HWC: *hwcFlag})
+		if *hwcFlag && !sprof.HWCActive() {
+			fmt.Fprintf(os.Stderr, "qs-solverbench: hardware counters unavailable, continuing with wall-time spans only (%s)\n", sprof.HWCReason())
+		}
 		defer func() {
 			sprof.Stop()
 			fmt.Fprintln(os.Stderr, "qs-solverbench: span profile (per-phase times):")

@@ -49,6 +49,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "print one line per solved point to stderr")
 		spans      = flag.Bool("spans", false, "profile the sweep with hierarchical spans and print the per-phase time table (requires -full)")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
+		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; requires -full; extras via QS_HWC_EVENTS)")
 	)
 	flag.Parse()
 
@@ -58,7 +59,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "qs-threshold: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
-	if (*spans || *spanOut != "") && !*full {
+	if (*spans || *spanOut != "" || *hwcFlag) && !*full {
 		exitOn(fmt.Errorf("-spans profiles the full-space solver; add -full (the class reduction has no instrumented phases)"))
 	}
 	if *traceFile != "" && !*full {
@@ -97,7 +98,7 @@ func main() {
 		return
 	}
 
-	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm, Method: *method}
+	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm, Method: *method, HWC: *hwcFlag}
 	if *progress || *debugAddr != "" {
 		pr := *progress
 		opts.Progress = func(i int, p float64, iters int, warmStarted bool, solveMethod string) {
@@ -121,8 +122,11 @@ func main() {
 	}
 
 	var sprof *quasispecies.SpanProfile
-	if *spans || *spanOut != "" {
-		sprof = quasispecies.StartSpanProfile(0)
+	if *spans || *spanOut != "" || *hwcFlag {
+		sprof = quasispecies.StartSpanProfileOpts(quasispecies.SpanProfileOptions{HWC: *hwcFlag})
+		if *hwcFlag && !sprof.HWCActive() {
+			fmt.Fprintf(os.Stderr, "qs-threshold: hardware counters unavailable, continuing with wall-time spans only (%s)\n", sprof.HWCReason())
+		}
 	}
 	var pts []quasispecies.ThresholdPoint
 	if *full {

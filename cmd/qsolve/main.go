@@ -46,6 +46,7 @@ func main() {
 		traceEvery = flag.Int("trace-every", 1, "keep every Nth residual check in the trace")
 		spans      = flag.Bool("spans", false, "profile the solve with hierarchical spans and print the per-phase time table")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans; load in Perfetto)")
+		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; extras via QS_HWC_EVENTS)")
 	)
 	flag.Parse()
 
@@ -100,8 +101,11 @@ func main() {
 	exitOn(err)
 
 	var sprof *quasispecies.SpanProfile
-	if *spans || *spanOut != "" {
-		sprof = quasispecies.StartSpanProfile(0)
+	if *spans || *spanOut != "" || *hwcFlag {
+		sprof = quasispecies.StartSpanProfileOpts(quasispecies.SpanProfileOptions{HWC: *hwcFlag})
+		if *hwcFlag && !sprof.HWCActive() {
+			fmt.Fprintf(os.Stderr, "qsolve: hardware counters unavailable, continuing with wall-time spans only (%s)\n", sprof.HWCReason())
+		}
 	}
 	start := time.Now()
 	sol, err := model.Solve()

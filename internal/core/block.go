@@ -202,6 +202,7 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 		sh.o.SolveStart(SolveKindBlockPower, n)
 	}
 	if opts.Observer != nil {
+		notifyMethod(opts.Observer, SolveKindBlockPower)
 		opts.Observer.Event(EventStart, 0, 0, 0)
 	}
 	res := &BlockPowerResult{

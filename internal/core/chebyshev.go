@@ -169,6 +169,7 @@ func ChebyshevIteration(op Operator, opts ChebyshevOptions) (ChebyshevResult, er
 		sh.o.SolveStart(SolveKindChebyshev, n)
 	}
 	if opts.Observer != nil {
+		notifyMethod(opts.Observer, SolveKindChebyshev)
 		opts.Observer.Event(EventStart, 0, b, 0)
 	}
 

@@ -100,6 +100,7 @@ func Lanczos(op Operator, opts LanczosOptions) (LanczosResult, error) {
 		sh.o.SolveStart(SolveKindLanczos, n)
 	}
 	if opts.Observer != nil {
+		notifyMethod(opts.Observer, SolveKindLanczos)
 		opts.Observer.Event(EventStart, 0, 0, 0)
 	}
 

@@ -57,6 +57,21 @@ const (
 	SolveKindChebyshev   = "chebyshev"
 )
 
+// methodReporter is the optional Observer extension implemented by
+// recorders that label their rows with the solve method (obs.TraceRecorder
+// does, via its Method setter); plain observers are unaffected.
+type methodReporter interface{ Method(kind string) }
+
+// notifyMethod tells an observer which solve method is about to run, when
+// it implements the optional methodReporter extension. Called once per
+// solve at the EventStart site — so adaptive sweeps that fall through
+// several gears on one point relabel the recorder per attempt.
+func notifyMethod(o Observer, kind string) {
+	if m, ok := o.(methodReporter); ok {
+		m.Method(kind)
+	}
+}
+
 // Iteration phase names reported as core-layer spans (internal/span) inside
 // a solve span: one span per phase per iteration while a recorder is
 // installed, nothing otherwise. These are the rows of the per-phase time

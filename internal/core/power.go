@@ -169,6 +169,7 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 		sh.o.SolveStart(SolveKindPower, n)
 	}
 	if opts.Observer != nil {
+		notifyMethod(opts.Observer, SolveKindPower)
 		opts.Observer.Event(EventStart, 0, mu, 0)
 	}
 	res := PowerResult{Vector: x}

@@ -195,6 +195,7 @@ func ShiftInvertLanczos(op Operator, opts ShiftInvertOptions) (ShiftInvertResult
 		sh.o.SolveStart(SolveKindShiftInvert, n)
 	}
 	if opts.Observer != nil {
+		notifyMethod(opts.Observer, SolveKindShiftInvert)
 		opts.Observer.Event(EventStart, 0, mu, 0)
 	}
 

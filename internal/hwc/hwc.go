@@ -1,0 +1,201 @@
+// Package hwc reads CPU hardware performance counters for the span
+// profiler: per-thread perf_event_open counter groups whose deltas the
+// profiler attributes to span phases, turning the wall-time table into an
+// IPC / cache-miss-rate table ("is this phase slow because it stalls, or
+// because it executes more instructions?").
+//
+// Design constraints, in order:
+//
+//   - Zero dependencies. The perf_event_open ABI is spoken directly
+//     through package syscall (attr struct, group reads, ioctls); no
+//     cgo, no x/sys.
+//   - Graceful degradation. Counters are a privilege- and
+//     hardware-gated resource: kernel.perf_event_paranoid can forbid
+//     them, containers and VMs often expose no PMU, and non-Linux hosts
+//     have no perf_event_open at all. Every failure mode degrades to a
+//     Session that reads nothing and reports ONE human-readable reason;
+//     callers never branch on platform.
+//   - No steady-state allocations. A counter read is one gettid, one
+//     lock-free group lookup and one read(2) into a buffer preallocated
+//     when the thread's group was opened — safe to call from the span
+//     hooks of a hot solve.
+//
+// Counters are per OS thread (perf events follow threads, goroutines
+// migrate), so a Sample records the thread it was taken on and Delta
+// refuses to subtract samples from different threads — the profiler
+// counts such spans as dropped rather than attributing another thread's
+// work. See DESIGN.md §5.7 for the attribution accounting and the full
+// degradation matrix.
+package hwc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxEvents bounds a counter group: the five base events plus up to
+// three extras. Small enough that group reads stay one cache line and
+// fixed-size arrays embed in span records without allocation; and most
+// PMUs multiplex beyond a handful of generic counters anyway.
+const MaxEvents = 8
+
+// Indices of the base events in every Sample / delta vector.
+const (
+	IdxCycles = iota
+	IdxInstructions
+	IdxCacheRefs
+	IdxCacheMisses
+	IdxBranchMisses
+	numBaseEvents
+)
+
+// perf_event_attr type/config pairs (uapi/linux/perf_event.h). Declared
+// portably so event parsing and tests run on every platform; only the
+// Linux session uses them to open descriptors.
+const (
+	perfTypeHardware = 0
+	perfTypeHWCache  = 3
+
+	hwCycles          = 0
+	hwInstructions    = 1
+	hwCacheReferences = 2
+	hwCacheMisses     = 3
+	hwBranchInstr     = 4
+	hwBranchMisses    = 5
+	hwBusCycles       = 6
+	hwStalledFrontend = 7
+	hwStalledBackend  = 8
+	hwRefCycles       = 9
+	cacheLL           = 2
+	cacheL1D          = 0
+	cacheDTLB         = 3
+	cacheOpRead       = 0
+	cacheResultAccess = 0
+	cacheResultMiss   = 1
+	cacheMissConfig   = cacheResultMiss << 16
+	cacheAccessConfig = cacheResultAccess << 16
+	cacheReadConfig   = cacheOpRead << 8
+)
+
+// Event is one counter in a group.
+type Event struct {
+	// Name is the canonical spelling accepted by QS_HWC_EVENTS and used
+	// as the column / metric label.
+	Name string
+
+	typ    uint32
+	config uint64
+}
+
+// baseEvents is the always-on group prefix, in Idx* order.
+var baseEvents = [numBaseEvents]Event{
+	{Name: "cycles", typ: perfTypeHardware, config: hwCycles},
+	{Name: "instructions", typ: perfTypeHardware, config: hwInstructions},
+	{Name: "cache-references", typ: perfTypeHardware, config: hwCacheReferences},
+	{Name: "cache-misses", typ: perfTypeHardware, config: hwCacheMisses},
+	{Name: "branch-misses", typ: perfTypeHardware, config: hwBranchMisses},
+}
+
+// extraCatalog maps QS_HWC_EVENTS names onto optional events.
+var extraCatalog = map[string]Event{
+	"llc-loads":               {Name: "llc-loads", typ: perfTypeHWCache, config: cacheLL | cacheReadConfig | cacheAccessConfig},
+	"llc-load-misses":         {Name: "llc-load-misses", typ: perfTypeHWCache, config: cacheLL | cacheReadConfig | cacheMissConfig},
+	"l1d-load-misses":         {Name: "l1d-load-misses", typ: perfTypeHWCache, config: cacheL1D | cacheReadConfig | cacheMissConfig},
+	"dtlb-load-misses":        {Name: "dtlb-load-misses", typ: perfTypeHWCache, config: cacheDTLB | cacheReadConfig | cacheMissConfig},
+	"stalled-cycles-frontend": {Name: "stalled-cycles-frontend", typ: perfTypeHardware, config: hwStalledFrontend},
+	"stalled-cycles-backend":  {Name: "stalled-cycles-backend", typ: perfTypeHardware, config: hwStalledBackend},
+	"branch-instructions":     {Name: "branch-instructions", typ: perfTypeHardware, config: hwBranchInstr},
+	"bus-cycles":              {Name: "bus-cycles", typ: perfTypeHardware, config: hwBusCycles},
+	"ref-cycles":              {Name: "ref-cycles", typ: perfTypeHardware, config: hwRefCycles},
+}
+
+// ParseEvents resolves a comma-separated QS_HWC_EVENTS list into the full
+// event group: the five base events followed by the recognized extras, in
+// listed order, deduplicated and capped at MaxEvents. Unknown names are an
+// error listing the catalog, so a typo degrades loudly instead of silently
+// measuring less.
+func ParseEvents(extras string) ([]Event, error) {
+	events := append([]Event(nil), baseEvents[:]...)
+	if strings.TrimSpace(extras) == "" {
+		return events, nil
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e.Name] = true
+	}
+	for _, name := range strings.Split(extras, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" || seen[name] {
+			continue
+		}
+		ev, ok := extraCatalog[name]
+		if !ok {
+			return nil, fmt.Errorf("hwc: unknown event %q in QS_HWC_EVENTS (have: %s)", name, catalogNames())
+		}
+		if len(events) == MaxEvents {
+			return nil, fmt.Errorf("hwc: QS_HWC_EVENTS lists more than %d extra events (group cap %d)", MaxEvents-numBaseEvents, MaxEvents)
+		}
+		events = append(events, ev)
+		seen[name] = true
+	}
+	return events, nil
+}
+
+func catalogNames() string {
+	names := make([]string, 0, len(extraCatalog))
+	for n := range extraCatalog {
+		names = append(names, n)
+	}
+	// Deterministic order for error messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// Sample is one point-in-time read of a thread's counter group. Enabled
+// and Running carry the kernel's multiplexing clocks; when the PMU had to
+// time-share the group, Running < Enabled and Delta scales accordingly.
+type Sample struct {
+	// TID is the OS thread the sample was read on.
+	TID int
+	// N is the number of live values (== the session's event count).
+	N int
+	// Enabled and Running are the group's time-enabled / time-running
+	// clocks in nanoseconds.
+	Enabled, Running uint64
+	// Values holds the raw counter values in session event order.
+	Values [MaxEvents]uint64
+}
+
+// Delta fills out with the multiplexing-scaled counter increments between
+// two samples of one span. It reports false — and leaves out untouched —
+// when the samples cannot be subtracted: different threads (the goroutine
+// migrated mid-span, so the counters saw someone else's work) or
+// mismatched group shapes.
+func Delta(begin, end *Sample, out *[MaxEvents]float64) bool {
+	if begin.TID != end.TID || begin.N != end.N || begin.N == 0 {
+		return false
+	}
+	enabled := float64(end.Enabled - begin.Enabled)
+	running := float64(end.Running - begin.Running)
+	scale := 1.0
+	if running > 0 && enabled > running {
+		scale = enabled / running
+	}
+	for i := 0; i < begin.N; i++ {
+		// Counters are monotonic within one thread's group; guard the
+		// subtraction anyway so a kernel quirk yields a zero, not 2^64.
+		if end.Values[i] < begin.Values[i] {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(end.Values[i]-begin.Values[i]) * scale
+	}
+	for i := begin.N; i < MaxEvents; i++ {
+		out[i] = 0
+	}
+	return true
+}

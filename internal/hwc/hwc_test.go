@@ -1,0 +1,173 @@
+package hwc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEventsBase(t *testing.T) {
+	events, err := ParseEvents("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cycles", "instructions", "cache-references", "cache-misses", "branch-misses"}
+	if len(events) != len(want) {
+		t.Fatalf("base group has %d events, want %d", len(events), len(want))
+	}
+	for i, name := range want {
+		if events[i].Name != name {
+			t.Errorf("events[%d] = %q, want %q", i, events[i].Name, name)
+		}
+	}
+}
+
+func TestParseEventsExtras(t *testing.T) {
+	events, err := ParseEvents(" LLC-Load-Misses , stalled-cycles-backend ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != numBaseEvents+2 {
+		t.Fatalf("group has %d events, want %d", len(events), numBaseEvents+2)
+	}
+	if events[numBaseEvents].Name != "llc-load-misses" || events[numBaseEvents+1].Name != "stalled-cycles-backend" {
+		t.Errorf("extras = %q, %q", events[numBaseEvents].Name, events[numBaseEvents+1].Name)
+	}
+
+	// Duplicates (of base or extra) collapse.
+	events, err = ParseEvents("cycles,llc-loads,llc-loads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != numBaseEvents+1 {
+		t.Fatalf("deduped group has %d events, want %d", len(events), numBaseEvents+1)
+	}
+}
+
+func TestParseEventsErrors(t *testing.T) {
+	if _, err := ParseEvents("no-such-counter"); err == nil || !strings.Contains(err.Error(), "no-such-counter") {
+		t.Errorf("unknown event error = %v", err)
+	}
+	if _, err := ParseEvents("llc-loads,llc-load-misses,l1d-load-misses,dtlb-load-misses"); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("over-cap error = %v", err)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	begin := &Sample{TID: 7, N: 3, Enabled: 1000, Running: 1000, Values: [MaxEvents]uint64{100, 200, 300}}
+	end := &Sample{TID: 7, N: 3, Enabled: 2000, Running: 2000, Values: [MaxEvents]uint64{150, 260, 300}}
+	var d [MaxEvents]float64
+	if !Delta(begin, end, &d) {
+		t.Fatal("same-thread delta reported false")
+	}
+	if d[0] != 50 || d[1] != 60 || d[2] != 0 {
+		t.Errorf("deltas = %v", d[:3])
+	}
+
+	// Multiplexed window: ran half the enabled time → counts double.
+	end2 := &Sample{TID: 7, N: 3, Enabled: 3000, Running: 2000, Values: [MaxEvents]uint64{150, 260, 300}}
+	if !Delta(begin, end2, &d) {
+		t.Fatal("multiplexed delta reported false")
+	}
+	if d[0] != 100 || d[1] != 120 {
+		t.Errorf("scaled deltas = %v", d[:2])
+	}
+
+	// Thread migration refuses to subtract.
+	moved := &Sample{TID: 8, N: 3, Enabled: 2000, Running: 2000}
+	if Delta(begin, moved, &d) {
+		t.Error("cross-thread delta reported true")
+	}
+	// Counter wrap clamps to zero instead of exploding.
+	wrapped := &Sample{TID: 7, N: 3, Enabled: 2000, Running: 2000, Values: [MaxEvents]uint64{50, 300, 300}}
+	if !Delta(begin, wrapped, &d) || d[0] != 0 || d[1] != 100 {
+		t.Errorf("wrapped delta = %v", d[:2])
+	}
+}
+
+func TestDegradedSessionIsInert(t *testing.T) {
+	s := Open("definitely-not-an-event")
+	if s.Reason() == "" {
+		t.Fatal("bad event list did not degrade the session")
+	}
+	var sample Sample
+	if s.ReadSelf(&sample) {
+		t.Error("degraded session read a sample")
+	}
+	if s.EventNames() != nil || s.NumEvents() != 0 {
+		t.Error("degraded session reports live events")
+	}
+	s.Close() // must not panic
+	var nilSession *Session
+	if nilSession.ReadSelf(&sample) || nilSession.Reason() == "" {
+		t.Error("nil session not inert")
+	}
+}
+
+// TestLiveCounters exercises the real perf_event_open path when the host
+// permits it; on denied/PMU-less hosts it asserts the degradation contract
+// instead (single reason, inert reads) — both sides of the matrix are
+// always covered.
+func TestLiveCounters(t *testing.T) {
+	s := Open("")
+	defer s.Close()
+	if reason := s.Reason(); reason != "" {
+		t.Logf("degraded host: %s", reason)
+		var sample Sample
+		if s.ReadSelf(&sample) {
+			t.Error("degraded session read a sample")
+		}
+		return
+	}
+	if got := s.NumEvents(); got != numBaseEvents {
+		t.Fatalf("NumEvents = %d, want %d", got, numBaseEvents)
+	}
+
+	var begin, end Sample
+	if !s.ReadSelf(&begin) {
+		t.Fatal("first ReadSelf failed on a live session")
+	}
+	// Burn user-space instructions so the deltas are unambiguous.
+	sink := 0.0
+	for i := 0; i < 2_000_000; i++ {
+		sink += float64(i)
+	}
+	if sink == 0 {
+		t.Fatal("unreachable")
+	}
+	if !s.ReadSelf(&end) {
+		t.Fatal("second ReadSelf failed on a live session")
+	}
+	if begin.TID != end.TID {
+		t.Skip("goroutine migrated threads mid-test; counters valid but not comparable")
+	}
+	var d [MaxEvents]float64
+	if !Delta(&begin, &end, &d) {
+		t.Fatal("Delta refused same-thread samples")
+	}
+	if d[IdxInstructions] < 1_000_000 {
+		t.Errorf("instructions delta = %g, want ≥ 1e6 for a 2e6-iteration loop", d[IdxInstructions])
+	}
+	if d[IdxCycles] <= 0 {
+		t.Errorf("cycles delta = %g, want > 0", d[IdxCycles])
+	}
+	t.Logf("live: %.0f instructions, %.0f cycles, IPC %.2f",
+		d[IdxInstructions], d[IdxCycles], d[IdxInstructions]/d[IdxCycles])
+}
+
+// TestReadSelfAllocFree pins the steady-state zero-allocation contract of
+// the hot read path (one read per span Begin/End on the -hwc path).
+func TestReadSelfAllocFree(t *testing.T) {
+	s := Open("")
+	defer s.Close()
+	if s.Reason() != "" {
+		t.Skipf("degraded host: %s", s.Reason())
+	}
+	var sample Sample
+	s.ReadSelf(&sample) // warm this thread's group
+	allocs := testing.AllocsPerRun(200, func() {
+		s.ReadSelf(&sample)
+	})
+	if allocs != 0 {
+		t.Errorf("ReadSelf allocates %.1f per call, want 0", allocs)
+	}
+}

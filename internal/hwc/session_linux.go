@@ -1,0 +1,302 @@
+//go:build linux && (amd64 || arm64)
+
+package hwc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// perfEventAttr is the leading 64 bytes of struct perf_event_attr
+// (PERF_ATTR_SIZE_VER0) — everything a counting (non-sampling) group
+// needs. The kernel accepts any attr size it knows; fields beyond VER0
+// default to zero, which is exactly what we want.
+type perfEventAttr struct {
+	Type         uint32
+	Size         uint32
+	Config       uint64
+	SamplePeriod uint64
+	SampleType   uint64
+	ReadFormat   uint64
+	Bits         uint64
+	WakeupEvents uint32
+	BPType       uint32
+	Config1      uint64
+}
+
+const (
+	attrSizeVer0 = 64
+
+	// ReadFormat flags.
+	formatTotalTimeEnabled = 1 << 0
+	formatTotalTimeRunning = 1 << 1
+	formatGroup            = 1 << 3
+
+	// Attr bitfield flags (perfEventAttr.Bits).
+	bitDisabled      = 1 << 0
+	bitExcludeKernel = 1 << 5
+	bitExcludeHV     = 1 << 6
+
+	// perf_event_open flags.
+	flagFDCloexec = 1 << 3
+
+	// ioctls on the group leader.
+	iocEnable    = 0x2400
+	iocReset     = 0x2403
+	iocFlagGroup = 1
+)
+
+// threadGroup is one OS thread's counter group: the leader fd, the member
+// fds and a read buffer sized for one PERF_FORMAT_GROUP read. A group is
+// only ever read by its own thread (reads happen on the thread that
+// triggered them), so buf needs no lock.
+type threadGroup struct {
+	fds  []int
+	buf  []byte
+	dead bool
+}
+
+// Session owns the process's counter groups, opened lazily per OS thread
+// on first read. A degraded session (no permission, no PMU) is fully
+// functional API-wise: ReadSelf reports false and Reason names the single
+// cause. Safe for concurrent use.
+type Session struct {
+	events []Event
+	reason string
+
+	mu     sync.Mutex
+	groups sync.Map // tid int -> *threadGroup
+	closed bool
+}
+
+// Open creates a session measuring the base events plus the extras listed
+// in the QS_HWC_EVENTS-style string (comma-separated names; "" for none).
+// Open never fails: permission or hardware problems return a degraded
+// session whose Reason explains why, probed eagerly on the calling thread
+// so the caller can report it before any spans run.
+func Open(extras string) *Session {
+	events, err := ParseEvents(extras)
+	if err != nil {
+		return &Session{reason: err.Error()}
+	}
+	s := &Session{events: events}
+	// Probe: open (and keep) the calling thread's group now. The probe
+	// failing is the ONE degradation the whole session reports.
+	g, err := s.openGroup()
+	if err != nil {
+		s.reason = err.Error()
+		return s
+	}
+	s.groups.Store(syscall.Gettid(), g)
+	return s
+}
+
+// Reason returns "" when counters are live, or the single degradation
+// reason (permission denied, missing PMU, unsupported platform, bad event
+// list) when every read will report false.
+func (s *Session) Reason() string {
+	if s == nil {
+		return "hardware counters not attached"
+	}
+	return s.reason
+}
+
+// EventNames returns the live group's event names in Sample order, nil
+// when degraded.
+func (s *Session) EventNames() []string {
+	if s == nil || s.reason != "" {
+		return nil
+	}
+	names := make([]string, len(s.events))
+	for i, e := range s.events {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// NumEvents returns the group size (0 when degraded).
+func (s *Session) NumEvents() int {
+	if s == nil || s.reason != "" {
+		return 0
+	}
+	return len(s.events)
+}
+
+// ReadSelf reads the calling thread's counter group into out, opening the
+// group on first use of a thread. Steady state is allocation-free: one
+// gettid, one lock-free map load, one read(2) into the group's buffer.
+// Reports false when the session is degraded, closed, or this thread's
+// group could not be opened or read.
+func (s *Session) ReadSelf(out *Sample) bool {
+	if s == nil || s.reason != "" {
+		return false
+	}
+	tid := syscall.Gettid()
+	var g *threadGroup
+	if v, ok := s.groups.Load(tid); ok {
+		g = v.(*threadGroup)
+	} else {
+		g = s.adoptGroup(tid)
+	}
+	if g == nil || g.dead {
+		return false
+	}
+	n, err := syscall.Read(g.fds[0], g.buf)
+	if err != nil || n != len(g.buf) {
+		return false
+	}
+	// PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+	le := binary.LittleEndian
+	if int(le.Uint64(g.buf)) != len(s.events) {
+		return false
+	}
+	out.TID = tid
+	out.N = len(s.events)
+	out.Enabled = le.Uint64(g.buf[8:])
+	out.Running = le.Uint64(g.buf[16:])
+	for i := range s.events {
+		out.Values[i] = le.Uint64(g.buf[24+8*i:])
+	}
+	return true
+}
+
+// adoptGroup opens the calling thread's group under the session mutex
+// (first span on a new pool worker). A failed open is remembered as a
+// dead group so the thread does not retry on every span.
+func (s *Session) adoptGroup(tid int) *threadGroup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if v, ok := s.groups.Load(tid); ok {
+		return v.(*threadGroup)
+	}
+	g, err := s.openGroup()
+	if err != nil {
+		g = &threadGroup{dead: true}
+	}
+	s.groups.Store(tid, g)
+	return g
+}
+
+// openGroup opens one counter group on the calling thread: the first
+// event is the disabled leader, members attach to it, then one grouped
+// reset+enable arms them all atomically. Counters count user space only
+// (exclude_kernel|exclude_hv) — the least-privileged mode, allowed up to
+// kernel.perf_event_paranoid=2 — so IPC numbers mean "this phase's own
+// instructions", not interrupt noise.
+func (s *Session) openGroup() (*threadGroup, error) {
+	g := &threadGroup{
+		fds: make([]int, 0, len(s.events)),
+		buf: make([]byte, 8*(3+len(s.events))),
+	}
+	for i, ev := range s.events {
+		attr := perfEventAttr{
+			Type:       ev.typ,
+			Size:       attrSizeVer0,
+			Config:     ev.config,
+			ReadFormat: formatGroup | formatTotalTimeEnabled | formatTotalTimeRunning,
+			Bits:       bitExcludeKernel | bitExcludeHV,
+		}
+		leader := -1
+		if i == 0 {
+			attr.Bits |= bitDisabled
+		} else {
+			leader = g.fds[0]
+		}
+		fd, err := perfEventOpen(&attr, 0, -1, leader, flagFDCloexec)
+		if err != nil {
+			g.close()
+			return nil, fmt.Errorf("hwc: perf_event_open(%s): %s", ev.Name, describeErrno(err))
+		}
+		g.fds = append(g.fds, fd)
+	}
+	if err := ioctl(g.fds[0], iocReset, iocFlagGroup); err != nil {
+		g.close()
+		return nil, fmt.Errorf("hwc: PERF_EVENT_IOC_RESET: %v", err)
+	}
+	if err := ioctl(g.fds[0], iocEnable, iocFlagGroup); err != nil {
+		g.close()
+		return nil, fmt.Errorf("hwc: PERF_EVENT_IOC_ENABLE: %v", err)
+	}
+	return g, nil
+}
+
+func (g *threadGroup) close() {
+	for _, fd := range g.fds {
+		_ = syscall.Close(fd)
+	}
+	g.fds = nil
+	g.dead = true
+}
+
+// Close releases every thread's descriptors. Further reads report false.
+// The Shared session is never closed; Close exists for tests and
+// short-lived explicit sessions.
+func (s *Session) Close() {
+	if s == nil || s.reason != "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.groups.Range(func(k, v any) bool {
+		v.(*threadGroup).close()
+		s.groups.Delete(k)
+		return true
+	})
+}
+
+// describeErrno turns the classic perf_event_open failures into
+// actionable one-liners; everything else passes through.
+func describeErrno(err error) string {
+	errno, ok := err.(syscall.Errno)
+	if !ok {
+		return err.Error()
+	}
+	switch errno {
+	case syscall.EACCES, syscall.EPERM:
+		return fmt.Sprintf("%v (kernel.perf_event_paranoid=%s forbids unprivileged counters; need ≤ 2, or CAP_PERFMON)",
+			err, paranoidLevel())
+	case syscall.ENOENT, syscall.ENODEV, syscall.EOPNOTSUPP:
+		return fmt.Sprintf("%v (no PMU exposed to this host — common in containers and VMs)", err)
+	case syscall.ENOSYS:
+		return fmt.Sprintf("%v (kernel built without perf events)", err)
+	}
+	return err.Error()
+}
+
+func paranoidLevel() string {
+	raw, err := os.ReadFile("/proc/sys/kernel/perf_event_paranoid")
+	if err != nil {
+		return "?"
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+func perfEventOpen(attr *perfEventAttr, pid, cpu, groupFD, flags int) (int, error) {
+	fd, _, errno := syscall.Syscall6(sysPerfEventOpen,
+		uintptr(unsafe.Pointer(attr)), uintptr(pid), uintptr(cpu),
+		uintptr(groupFD), uintptr(flags), 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(fd), nil
+}
+
+func ioctl(fd int, req, arg uintptr) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(fd), req, arg)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

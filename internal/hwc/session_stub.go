@@ -1,0 +1,46 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package hwc
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Session on platforms without perf_event_open support: permanently
+// degraded, same API surface as the Linux session so no caller branches
+// on platform.
+type Session struct {
+	reason string
+}
+
+// Open returns the degraded session; extras are validated anyway so a bad
+// QS_HWC_EVENTS list is diagnosed identically on every platform.
+func Open(extras string) *Session {
+	if _, err := ParseEvents(extras); err != nil {
+		return &Session{reason: err.Error()}
+	}
+	return &Session{reason: fmt.Sprintf(
+		"hwc: hardware counters unsupported on %s/%s (perf_event_open is Linux amd64/arm64 only)",
+		runtime.GOOS, runtime.GOARCH)}
+}
+
+// Reason returns the platform degradation reason.
+func (s *Session) Reason() string {
+	if s == nil {
+		return "hardware counters not attached"
+	}
+	return s.reason
+}
+
+// EventNames returns nil: no counters are live.
+func (s *Session) EventNames() []string { return nil }
+
+// NumEvents returns 0: no counters are live.
+func (s *Session) NumEvents() int { return 0 }
+
+// ReadSelf reports false: no counters are live.
+func (s *Session) ReadSelf(out *Sample) bool { return false }
+
+// Close is a no-op.
+func (s *Session) Close() {}

@@ -1,0 +1,33 @@
+package hwc
+
+import (
+	"os"
+	"sync"
+)
+
+// The process-wide session behind every -hwc flag: opened once with the
+// QS_HWC_EVENTS extras, never closed (its per-thread descriptors live for
+// the process — a handful of fds per worker thread). Multiple profiles
+// attaching the shared session reuse the same thread groups instead of
+// multiplying descriptors.
+var shared struct {
+	once sync.Once
+	s    *Session
+}
+
+// Shared returns the process-wide counter session, opening it on first
+// call with the extra events named in QS_HWC_EVENTS. Like Open it never
+// fails; a degraded environment yields a session whose Reason explains
+// the single cause.
+func Shared() *Session {
+	shared.once.Do(func() { shared.s = Open(os.Getenv("QS_HWC_EVENTS")) })
+	return shared.s
+}
+
+// Available reports whether hardware counters are live on this host, with
+// the degradation reason when they are not. Probing opens the shared
+// session.
+func Available() (bool, string) {
+	s := Shared()
+	return s.Reason() == "", s.Reason()
+}

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package hwc
+
+// perf_event_open syscall number (arch/x86/entry/syscalls/syscall_64.tbl).
+const sysPerfEventOpen = 298

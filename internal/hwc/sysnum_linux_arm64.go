@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package hwc
+
+// perf_event_open syscall number (include/uapi/asm-generic/unistd.h).
+const sysPerfEventOpen = 241

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -18,7 +19,11 @@ func Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = Default().WritePrometheus(w)
+		if p := InstalledProfiler(); p != nil {
+			_ = p.WriteHWCPrometheus(w)
+		}
 	})
+	mux.HandleFunc("/debug/spans", serveSpans)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -31,6 +36,71 @@ func Handler() http.Handler {
 	return mux
 }
 
+// spansPayload is the /debug/spans JSON shape: the live profiler's exact
+// per-site aggregate plus its wall clock and hardware-counter status.
+type spansPayload struct {
+	Active     bool       `json:"active"`
+	WallNs     int64      `json:"wall_ns,omitempty"`
+	Dropped    int64      `json:"dropped_events,omitempty"`
+	HWCActive  bool       `json:"hwc_active,omitempty"`
+	HWCReason  string     `json:"hwc_reason,omitempty"`
+	HWCEvents  []string   `json:"hwc_events,omitempty"`
+	HWCSamples int64      `json:"hwc_samples,omitempty"`
+	HWCDropped int64      `json:"hwc_dropped,omitempty"`
+	Spans      []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	Layer      string        `json:"layer"`
+	Name       string        `json:"span"`
+	Count      int64         `json:"count"`
+	TotalNs    int64         `json:"total_ns"`
+	SelfNs     int64         `json:"self_ns"`
+	HWCSamples int64         `json:"hwc_samples,omitempty"`
+	IPC        float64       `json:"ipc,omitempty"`
+	MissRate   float64       `json:"cache_miss_rate,omitempty"`
+	Counters   []CounterStat `json:"counters,omitempty"`
+}
+
+// serveSpans serves the live span-profile table: JSON by default,
+// the aligned text table (WriteTable) with ?format=text. With no
+// profiler installed it reports active=false rather than an error, so
+// smoke probes can hit it unconditionally.
+func serveSpans(w http.ResponseWriter, r *http.Request) {
+	p := InstalledProfiler()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if p == nil {
+			fmt.Fprintln(w, "no span profiler installed (run with -spans or -hwc)")
+			return
+		}
+		_ = p.WriteTable(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	payload := spansPayload{Spans: []spanJSON{}}
+	if p != nil {
+		payload.Active = true
+		payload.WallNs = p.Wall().Nanoseconds()
+		payload.Dropped = p.Dropped()
+		payload.HWCActive = p.HWCActive()
+		payload.HWCReason = p.HWCReason()
+		payload.HWCEvents = p.HWCEventNames()
+		payload.HWCSamples = p.HWCSamples()
+		payload.HWCDropped = p.HWCDropped()
+		for _, s := range p.Stats() {
+			payload.Spans = append(payload.Spans, spanJSON{
+				Layer: s.Layer, Name: s.Name, Count: s.Count,
+				TotalNs: s.Total.Nanoseconds(), SelfNs: s.Self.Nanoseconds(),
+				HWCSamples: s.HWCSamples,
+				IPC:        s.IPC(), MissRate: s.CacheMissRate(),
+				Counters: s.HWC,
+			})
+		}
+	}
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
 var expvarOnce sync.Once
 
 // publishExpvar exposes the default registry under /debug/vars exactly
@@ -38,6 +108,19 @@ var expvarOnce sync.Once
 func publishExpvar() {
 	expvarOnce.Do(func() {
 		expvar.Publish("qs_solver", expvar.Func(func() any { return Default().Snapshot() }))
+		expvar.Publish("qs_hwc", expvar.Func(func() any {
+			p := InstalledProfiler()
+			if p == nil {
+				return map[string]any{"active": false}
+			}
+			return map[string]any{
+				"active":  p.HWCActive(),
+				"reason":  p.HWCReason(),
+				"events":  p.HWCEventNames(),
+				"samples": p.HWCSamples(),
+				"dropped": p.HWCDropped(),
+			}
+		}))
 	})
 }
 

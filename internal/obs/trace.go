@@ -18,13 +18,18 @@ import (
 
 // TraceRow is one record of a convergence trace. Event is "" for plain
 // residual-check steps and a lifecycle tag (start, converged, stagnated,
-// budget_exhausted, breakdown, aborted) otherwise.
+// budget_exhausted, breakdown, aborted) otherwise. Method names the
+// eigensolver gear that produced the row ("power", "chebyshev",
+// "shift_invert", …); it may change mid-label when an adaptive solve falls
+// through several gears on one point, and is "" for recordings made
+// before the solver reported it.
 type TraceRow struct {
 	Label    string  `json:"label,omitempty"`
 	Iter     int     `json:"iter"`
 	Lambda   float64 `json:"lambda"`
 	Residual float64 `json:"residual"`
 	Event    string  `json:"event,omitempty"`
+	Method   string  `json:"method,omitempty"`
 }
 
 // Trace accumulates convergence rows from one or more solves. Recorders
@@ -74,10 +79,17 @@ func (t *Trace) Recorder(label string) *TraceRecorder {
 type TraceRecorder struct {
 	t       *Trace
 	label   string
+	method  string
 	steps   int
 	pending TraceRow // last thinned-away step, flushed by a terminal Event
 	hasPend bool
 }
+
+// Method labels subsequent rows with the solve method that produces them.
+// The core solvers call it through their optional methodReporter hook at
+// solve start, so adaptive sweeps that retry a point with another gear
+// relabel the stream mid-trace.
+func (r *TraceRecorder) Method(kind string) { r.method = kind }
 
 // Step records a residual check, thinned to the Trace's every-N setting.
 // A thinned-away step is held as pending so the trace never loses the final
@@ -86,12 +98,12 @@ type TraceRecorder struct {
 func (r *TraceRecorder) Step(iter int, lambda, residual float64) {
 	r.steps++
 	if r.t.every > 1 && r.steps%r.t.every != 0 {
-		r.pending = TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual}
+		r.pending = TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual, Method: r.method}
 		r.hasPend = true
 		return
 	}
 	r.hasPend = false
-	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual})
+	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual, Method: r.method})
 }
 
 // Event records a solver lifecycle event (never thinned). Any event other
@@ -102,15 +114,15 @@ func (r *TraceRecorder) Event(event string, iter int, lambda, residual float64) 
 		r.t.append(r.pending)
 		r.hasPend = false
 	}
-	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual, Event: event})
+	r.t.append(TraceRow{Label: r.label, Iter: iter, Lambda: lambda, Residual: residual, Event: event, Method: r.method})
 }
 
 // WriteTSV renders the trace as tab-separated values with a header row.
 func (t *Trace) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "label\titer\tlambda\tresidual\tevent")
+	fmt.Fprintln(bw, "label\titer\tlambda\tresidual\tevent\tmethod")
 	for _, r := range t.Rows() {
-		fmt.Fprintf(bw, "%s\t%d\t%.17g\t%.6g\t%s\n", r.Label, r.Iter, r.Lambda, r.Residual, r.Event)
+		fmt.Fprintf(bw, "%s\t%d\t%.17g\t%.6g\t%s\t%s\n", r.Label, r.Iter, r.Lambda, r.Residual, r.Event, r.Method)
 	}
 	return bw.Flush()
 }

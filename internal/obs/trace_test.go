@@ -108,6 +108,7 @@ func TestTraceConcurrentRecorders(t *testing.T) {
 func TestTraceWriteTSVAndJSONL(t *testing.T) {
 	tr := NewTrace(1)
 	rec := tr.Recorder("p=0.02")
+	rec.Method("power")
 	rec.Event("start", 0, 0.0625, 0)
 	rec.Step(100, 1.875, 2.5e-4)
 
@@ -119,10 +120,10 @@ func TestTraceWriteTSVAndJSONL(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("tsv lines = %d, want 3:\n%s", len(lines), tsv.String())
 	}
-	if lines[0] != "label\titer\tlambda\tresidual\tevent" {
+	if lines[0] != "label\titer\tlambda\tresidual\tevent\tmethod" {
 		t.Fatalf("tsv header = %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "p=0.02\t0\t") || !strings.HasSuffix(lines[1], "\tstart") {
+	if !strings.HasPrefix(lines[1], "p=0.02\t0\t") || !strings.HasSuffix(lines[1], "\tstart\tpower") {
 		t.Fatalf("tsv event row = %q", lines[1])
 	}
 
@@ -134,7 +135,7 @@ func TestTraceWriteTSVAndJSONL(t *testing.T) {
 	if err := json.Unmarshal([]byte(strings.Split(jl.String(), "\n")[1]), &row); err != nil {
 		t.Fatal(err)
 	}
-	if row.Iter != 100 || row.Lambda != 1.875 || row.Residual != 2.5e-4 {
+	if row.Iter != 100 || row.Lambda != 1.875 || row.Residual != 2.5e-4 || row.Method != "power" {
 		t.Fatalf("jsonl row = %+v", row)
 	}
 }

@@ -118,6 +118,12 @@ func TestEnableSolverMetricsEndToEnd(t *testing.T) {
 	if rows[0].Event != "start" {
 		t.Errorf("first trace row = %+v, want start event", rows[0])
 	}
+	for i, r := range rows {
+		if r.Method != core.SolveKindPower {
+			t.Errorf("trace row %d method = %q, want %q (solver must stamp the method column)", i, r.Method, core.SolveKindPower)
+			break
+		}
+	}
 	if last := rows[len(rows)-1]; last.Event != "converged" {
 		t.Errorf("last trace row = %+v, want converged event", last)
 	}

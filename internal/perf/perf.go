@@ -29,13 +29,20 @@ import (
 	"repro/internal/harness"
 )
 
-// PhaseStat is one span site's aggregate within a run, in seconds.
+// PhaseStat is one span site's aggregate within a run, in seconds. The
+// hardware-counter fields are present only in runs recorded with -hwc on
+// a host with usable counters (HWCSamples > 0 marks them valid): IPC is
+// self instructions per cycle, CacheMissRate self cache-misses per
+// cache-reference.
 type PhaseStat struct {
-	Layer        string  `json:"layer"`
-	Name         string  `json:"name"`
-	Count        int64   `json:"count"`
-	TotalSeconds float64 `json:"total_seconds"`
-	SelfSeconds  float64 `json:"self_seconds"`
+	Layer         string  `json:"layer"`
+	Name          string  `json:"name"`
+	Count         int64   `json:"count"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	SelfSeconds   float64 `json:"self_seconds"`
+	HWCSamples    int64   `json:"hwc_samples,omitempty"`
+	IPC           float64 `json:"ipc,omitempty"`
+	CacheMissRate float64 `json:"cache_miss_rate,omitempty"`
 }
 
 // Record is one ledger entry: a profiled run of a fixed benchmark workload.
@@ -52,6 +59,12 @@ type Record struct {
 	Lambda      float64          `json:"lambda"` // correctness anchor: must not drift between runs
 	Host        harness.HostInfo `json:"host"`
 	Phases      []PhaseStat      `json:"phases"`
+
+	// HWCActive marks a run whose phases carry hardware-counter columns;
+	// HWCReason preserves why they do not when -hwc was requested but
+	// degraded (paranoid denial, no PMU, non-Linux).
+	HWCActive bool   `json:"hwc_active,omitempty"`
+	HWCReason string `json:"hwc_reason,omitempty"`
 }
 
 // DefaultLedgerPath is where the repo keeps its committed baseline ledger.
@@ -257,6 +270,78 @@ func Gate(base, cur Record, opts GateOptions) []Violation {
 		})
 	}
 	return out
+}
+
+// IPCDrift is one advisory finding of the hardware-counter gate: a phase
+// whose instructions-per-cycle fell (the code got less efficient per
+// cycle) or whose cache-miss rate rose between two hwc-bearing records.
+type IPCDrift struct {
+	Layer  string
+	Name   string
+	Metric string // "ipc" or "cache_miss_rate"
+	Base   float64
+	Cur    float64
+}
+
+func (d IPCDrift) String() string {
+	arrow := "fell"
+	if d.Cur > d.Base {
+		arrow = "rose"
+	}
+	return fmt.Sprintf("%s/%s: %s %s %.3f → %.3f", d.Layer, d.Name, d.Metric, arrow, d.Base, d.Cur)
+}
+
+// IPCGate compares per-phase hardware-counter efficiency between two
+// records. It is ADVISORY: counter readings vary with the host CPU far
+// more than share-of-wall does, so findings are printed next to the gate
+// result but never fail a check. threshold is the relative change that
+// flags a phase (≤ 0 selects 0.15, i.e. IPC down ≥ 15% or miss rate up
+// ≥ 15%); phases below minShare of wall time in both records, or without
+// counter samples on either side, are skipped. Returns nil (and ok =
+// false) unless both records carry counters.
+func IPCGate(base, cur Record, threshold, minShare float64) (drifts []IPCDrift, ok bool) {
+	if !base.HWCActive || !cur.HWCActive {
+		return nil, false
+	}
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	if minShare <= 0 {
+		minShare = 0.02
+	}
+	type key struct{ layer, name string }
+	baseIdx := make(map[key]PhaseStat, len(base.Phases))
+	for _, p := range base.Phases {
+		baseIdx[key{p.Layer, p.Name}] = p
+	}
+	for _, p := range cur.Phases {
+		b, found := baseIdx[key{p.Layer, p.Name}]
+		if !found || b.HWCSamples == 0 || p.HWCSamples == 0 {
+			continue
+		}
+		baseShare, curShare := 0.0, 0.0
+		if base.WallSeconds > 0 {
+			baseShare = b.TotalSeconds / base.WallSeconds
+		}
+		if cur.WallSeconds > 0 {
+			curShare = p.TotalSeconds / cur.WallSeconds
+		}
+		if baseShare < minShare && curShare < minShare {
+			continue
+		}
+		if b.IPC > 0 && p.IPC < b.IPC*(1-threshold) {
+			drifts = append(drifts, IPCDrift{
+				Layer: p.Layer, Name: p.Name, Metric: "ipc", Base: b.IPC, Cur: p.IPC,
+			})
+		}
+		if b.CacheMissRate > 0 && p.CacheMissRate > b.CacheMissRate*(1+threshold) {
+			drifts = append(drifts, IPCDrift{
+				Layer: p.Layer, Name: p.Name, Metric: "cache_miss_rate",
+				Base: b.CacheMissRate, Cur: p.CacheMissRate,
+			})
+		}
+	}
+	return drifts, true
 }
 
 // FormatCompare renders a benchstat-style per-phase comparison table.

@@ -135,3 +135,88 @@ func TestFormatCompare(t *testing.T) {
 		}
 	}
 }
+
+func hwrec(wall float64, phases ...PhaseStat) Record {
+	r := rec(wall, phases...)
+	r.HWCActive = true
+	return r
+}
+
+func hwph(layer, name string, total, ipc, missRate float64) PhaseStat {
+	p := ph(layer, name, total)
+	p.HWCSamples = 100
+	p.IPC = ipc
+	p.CacheMissRate = missRate
+	return p
+}
+
+// TestIPCGateAdvisory pins the hardware-counter drift detector: IPC drops
+// and miss-rate rises past the threshold are reported, hwc-less records
+// disable the gate entirely (ok=false), and noise-floor phases are skipped.
+func TestIPCGateAdvisory(t *testing.T) {
+	base := hwrec(2.0, hwph("core", "matvec", 1.0, 2.0, 0.10), hwph("core", "normalize", 0.4, 1.0, 0.05))
+	same := hwrec(2.0, hwph("core", "matvec", 1.0, 2.0, 0.10), hwph("core", "normalize", 0.4, 1.0, 0.05))
+	if drifts, ok := IPCGate(base, same, 0, 0); !ok || len(drifts) != 0 {
+		t.Fatalf("identical hwc runs: drifts=%v ok=%v", drifts, ok)
+	}
+
+	// matvec IPC 2.0 → 1.5 (−25%) and normalize miss rate 0.05 → 0.08 (+60%).
+	cur := hwrec(2.0, hwph("core", "matvec", 1.0, 1.5, 0.10), hwph("core", "normalize", 0.4, 1.0, 0.08))
+	drifts, ok := IPCGate(base, cur, 0.15, 0)
+	if !ok || len(drifts) != 2 {
+		t.Fatalf("drifts = %v ok=%v, want 2 findings", drifts, ok)
+	}
+	byMetric := map[string]IPCDrift{}
+	for _, d := range drifts {
+		byMetric[d.Metric] = d
+	}
+	if d := byMetric["ipc"]; d.Name != "matvec" || d.Base != 2.0 || d.Cur != 1.5 {
+		t.Errorf("ipc drift = %+v", d)
+	}
+	if d := byMetric["cache_miss_rate"]; d.Name != "normalize" || d.Cur != 0.08 {
+		t.Errorf("miss-rate drift = %+v", d)
+	}
+	if !strings.Contains(byMetric["ipc"].String(), "fell") {
+		t.Errorf("drift string = %q", byMetric["ipc"].String())
+	}
+
+	// Records without counters disable the gate rather than report noise.
+	plain := rec(2.0, ph("core", "matvec", 1.0))
+	if _, ok := IPCGate(plain, cur, 0, 0); ok {
+		t.Error("gate ran against an hwc-less baseline")
+	}
+	if _, ok := IPCGate(base, plain, 0, 0); ok {
+		t.Error("gate ran against an hwc-less current run")
+	}
+
+	// A sub-noise-floor phase (1% of wall) never flags, and a phase with
+	// no counter samples on one side is skipped.
+	tiny := hwrec(2.0, hwph("core", "blip", 0.02, 2.0, 0.10))
+	tinyCur := hwrec(2.0, hwph("core", "blip", 0.02, 0.5, 0.50))
+	if drifts, ok := IPCGate(tiny, tinyCur, 0.15, 0); !ok || len(drifts) != 0 {
+		t.Errorf("noise-floor phase flagged: %v", drifts)
+	}
+	nosamp := hwrec(2.0, hwph("core", "matvec", 1.0, 2.0, 0.10))
+	nosamp.Phases[0].HWCSamples = 0
+	if drifts, _ := IPCGate(nosamp, cur, 0.15, 0); len(drifts) != 0 {
+		t.Errorf("sampleless phase flagged: %v", drifts)
+	}
+}
+
+// TestLedgerRoundTripsHWCFields checks the counter columns survive the
+// JSONL round trip.
+func TestLedgerRoundTripsHWCFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	r := hwrec(1.0, hwph("core", "matvec", 0.6, 2.25, 0.125))
+	if err := Append(path, r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("read: %v %v", recs, err)
+	}
+	got := recs[0]
+	if !got.HWCActive || got.Phases[0].IPC != 2.25 || got.Phases[0].CacheMissRate != 0.125 || got.Phases[0].HWCSamples != 100 {
+		t.Fatalf("round-tripped record = %+v", got)
+	}
+}

@@ -51,9 +51,7 @@ if cmp -s "$tmp" "$ALLOW"; then
 fi
 
 echo "check_bce: bounds-check findings differ from $ALLOW" >&2
-echo "--- new findings (not in allowlist):" >&2
-grep -Fxv -f "$ALLOW" "$tmp" >&2 || true
-echo "--- stale allowlist entries (no longer emitted):" >&2
-grep -Fxv -f "$tmp" "$ALLOW" >&2 || true
+echo "unified diff, allowlist vs current findings ('+' = new check, '-' = stale entry):" >&2
+diff -u --label "$ALLOW" --label "current findings" "$ALLOW" "$tmp" >&2 || true
 echo "If every new finding is an amortized per-block check, run: scripts/check_bce.sh -update" >&2
 exit 1
