@@ -74,15 +74,21 @@ run 'qs-perf <command> -h' for the command's flags
 
 // workload is the fixed benchmark configuration a ledger label identifies.
 type workload struct {
-	kind    string
-	nu      int
-	p       float64
-	points  int
-	reps    int
-	workers int
-	hwc     bool
-	ledger  string
-	label   string
+	kind      string
+	nu        int
+	p         float64
+	points    int
+	reps      int
+	workers   int
+	hwc       bool
+	ledger    string
+	label     string
+	flight    bool
+	flightDir string
+
+	// fl is the active flight recording of this measurement run (nil
+	// without -flight); its run ID is embedded in the ledger record.
+	fl *quasispecies.Flight
 }
 
 func workloadFlags(fs *flag.FlagSet) *workload {
@@ -96,7 +102,49 @@ func workloadFlags(fs *flag.FlagSet) *workload {
 	fs.BoolVar(&w.hwc, "hwc", false, "attribute hardware counters to the profile and record per-phase IPC / cache-miss-rate in the ledger entry (degrades to wall-time-only when counters are unavailable)")
 	fs.StringVar(&w.ledger, "ledger", perf.DefaultLedgerPath, "ledger file")
 	fs.StringVar(&w.label, "label", "", "ledger label (default derived from the workload)")
+	fs.BoolVar(&w.flight, "flight", false, "flight-record the measurement run and embed its run ID in the ledger entry")
+	fs.StringVar(&w.flightDir, "flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
 	return w
+}
+
+// startFlight begins the -flight recording for a measurement run. The
+// subcommand flag set is collected manually (FlightOptions only
+// auto-collects the global flag.CommandLine).
+func startFlight(w *workload, fs *flag.FlagSet) {
+	if !w.flight {
+		return
+	}
+	flags := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	w.fl = quasispecies.StartFlight(quasispecies.FlightOptions{
+		Dir: w.flightDir, Tool: "qs-perf", Args: os.Args[1:], Flags: flags,
+		Nu: w.nu, Method: w.kind, Workers: w.workers,
+		LedgerPath: w.ledger, LedgerLabel: w.resolveLabel(),
+	})
+	fmt.Fprintf(os.Stderr, "qs-perf: flight recording run %s (bundles under %s)\n",
+		w.fl.RunID(), w.flightDir)
+}
+
+// finishFlight stamps the flight identity into the measured record (run ID
+// plus the latest diagnostic bundle, if the run dumped one) and stops the
+// recording. On a failed measurement it dumps the solver error's bundle
+// first.
+func finishFlight(w *workload, rec *perf.Record, err error) {
+	if w.fl == nil {
+		return
+	}
+	if err != nil {
+		if dir, ok := w.fl.DumpOnError(err); ok {
+			fmt.Fprintf(os.Stderr, "qs-perf: diagnostic bundle dumped to %s\n", dir)
+		}
+	}
+	if rec != nil {
+		rec.RunID = w.fl.RunID()
+		if bs := w.fl.Bundles(); len(bs) > 0 {
+			rec.FlightBundle = bs[len(bs)-1]
+		}
+	}
+	w.fl.Stop()
 }
 
 // profileRecord converts one profiled repetition into a ledger record,
@@ -173,9 +221,14 @@ func measureSolve(w *workload) (perf.Record, error) {
 	if err != nil {
 		return perf.Record{}, err
 	}
-	model, err := quasispecies.New(mut, l,
+	opts := []quasispecies.Option{
 		quasispecies.WithMethod(quasispecies.MethodFmmp),
-		quasispecies.WithWorkers(w.workers))
+		quasispecies.WithWorkers(w.workers),
+	}
+	if w.fl != nil {
+		opts = append(opts, quasispecies.WithObserver(w.fl.Observer(w.resolveLabel())))
+	}
+	model, err := quasispecies.New(mut, l, opts...)
 	if err != nil {
 		return perf.Record{}, err
 	}
@@ -253,7 +306,9 @@ func runRecord(argv []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	w := workloadFlags(fs)
 	fs.Parse(argv)
+	startFlight(w, fs)
 	rec, err := measure(w)
+	finishFlight(w, &rec, err)
 	if err != nil {
 		return err
 	}
@@ -283,7 +338,9 @@ func runCheck(argv []string) error {
 		return err
 	}
 	base, ok := perf.Latest(recs, w.resolveLabel())
+	startFlight(w, fs)
 	cur, merr := measure(w)
+	finishFlight(w, &cur, merr)
 	if merr != nil {
 		return merr
 	}

@@ -76,6 +76,8 @@ func main() {
 		spans      = flag.Bool("spans", false, "profile the run with hierarchical spans and print the per-phase time table to stderr")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
 		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; extras via QS_HWC_EVENTS)")
+		flight     = flag.Bool("flight", false, "flight-record the run: manifest, black-box rings, numerical-health watchdog, diagnostic bundles on failure")
+		flightDir  = flag.String("flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
 	)
 	flag.Parse()
 	if *tile > 0 {
@@ -86,6 +88,25 @@ func main() {
 		exitOn(err)
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "qs-solverbench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if *flight {
+		mode := "fig3"
+		switch {
+		case *kernels:
+			mode = "kernels"
+		case *critical:
+			mode = "critical"
+		case *sweep:
+			mode = "sweep"
+		case *shiftStudy:
+			mode = "shift-study"
+		}
+		fl := quasispecies.StartFlight(quasispecies.FlightOptions{
+			Dir: *flightDir, Tool: "qs-solverbench",
+			Nu: *nu, Method: mode, Workers: *workers,
+		})
+		defer fl.Stop()
+		fmt.Fprintf(os.Stderr, "qs-solverbench: flight recording run %s (bundles under %s)\n", fl.RunID(), *flightDir)
 	}
 	if *spans || *spanOut != "" || *hwcFlag {
 		sprof := quasispecies.StartSpanProfileOpts(quasispecies.SpanProfileOptions{HWC: *hwcFlag})

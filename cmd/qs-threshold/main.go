@@ -50,6 +50,8 @@ func main() {
 		spans      = flag.Bool("spans", false, "profile the sweep with hierarchical spans and print the per-phase time table (requires -full)")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans)")
 		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; requires -full; extras via QS_HWC_EVENTS)")
+		flight     = flag.Bool("flight", false, "flight-record the sweep: manifest, black-box rings, numerical-health watchdog, diagnostic bundles on failure (requires -full)")
+		flightDir  = flag.String("flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
 	)
 	flag.Parse()
 
@@ -64,6 +66,9 @@ func main() {
 	}
 	if *traceFile != "" && !*full {
 		exitOn(fmt.Errorf("-trace records full-space convergence traces; add -full (the class reduction is exact and does not iterate per point)"))
+	}
+	if *flight && !*full {
+		exitOn(fmt.Errorf("-flight watches the full-space solver; add -full (the class reduction is exact and has nothing to stall)"))
 	}
 
 	var l quasispecies.Landscape
@@ -98,11 +103,29 @@ func main() {
 		return
 	}
 
+	var fl *quasispecies.Flight
+	if *flight {
+		fl = quasispecies.StartFlight(quasispecies.FlightOptions{
+			Dir: *flightDir, Tool: "qs-threshold",
+			Nu: *nu, Method: *method, Workers: *workers, PGrid: ps,
+		})
+		defer fl.Stop()
+		fmt.Fprintf(os.Stderr, "qs-threshold: flight recording run %s (bundles under %s)\n", fl.RunID(), *flightDir)
+	}
+
 	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm, Method: *method, HWC: *hwcFlag}
-	if *progress || *debugAddr != "" {
+	if *progress || *debugAddr != "" || fl != nil {
 		pr := *progress
 		opts.Progress = func(i int, p float64, iters int, warmStarted bool, solveMethod string) {
 			obs.RecordSweepPoint(p, iters, warmStarted)
+			if fl != nil {
+				tag := "cold"
+				if warmStarted {
+					tag = "warm"
+				}
+				fl.NoteDecision("point", fmt.Sprintf("p=%.6g", p),
+					fmt.Sprintf("method=%s start=%s", solveMethod, tag), iters)
+			}
 			if pr {
 				tag := "cold"
 				if warmStarted {
@@ -116,8 +139,21 @@ func main() {
 	var trace *obs.Trace
 	if *traceFile != "" {
 		trace = obs.NewTrace(*traceEvery)
+		if fl != nil {
+			trace.SetRunID(fl.RunID())
+		}
+	}
+	if trace != nil || fl != nil {
 		opts.Observe = func(i int, p float64) quasispecies.SolveObserver {
-			return trace.Recorder(fmt.Sprintf("p=%.6g", p))
+			label := fmt.Sprintf("p=%.6g", p)
+			var o quasispecies.SolveObserver
+			if trace != nil {
+				o = trace.Recorder(label)
+			}
+			if fl != nil {
+				o = quasispecies.TeeSolveObservers(o, fl.Observer(label))
+			}
+			return o
 		}
 	}
 
@@ -156,6 +192,11 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "qs-threshold: convergence trace written to %s (%d rows)\n",
 				*traceFile, len(trace.Rows()))
+		}
+	}
+	if err != nil && fl != nil {
+		if dir, ok := fl.DumpOnError(err); ok {
+			fmt.Fprintf(os.Stderr, "qs-threshold: diagnostic bundle dumped to %s\n", dir)
 		}
 	}
 	exitOn(err)

@@ -47,6 +47,8 @@ func main() {
 		spans      = flag.Bool("spans", false, "profile the solve with hierarchical spans and print the per-phase time table")
 		spanOut    = flag.String("span-out", "", "write the span timeline as Chrome trace-event JSON to this file (implies -spans; load in Perfetto)")
 		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; extras via QS_HWC_EVENTS)")
+		flight     = flag.Bool("flight", false, "flight-record the run: manifest, black-box rings, numerical-health watchdog, diagnostic bundles on failure")
+		flightDir  = flag.String("flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
 	)
 	flag.Parse()
 
@@ -55,6 +57,16 @@ func main() {
 		exitOn(err)
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "qsolve: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
+	var fl *quasispecies.Flight
+	if *flight {
+		fl = quasispecies.StartFlight(quasispecies.FlightOptions{
+			Dir: *flightDir, Tool: "qsolve",
+			Nu: *nu, Method: *method, Workers: *workers, PGrid: []float64{*p},
+		})
+		defer fl.Stop()
+		fmt.Fprintf(os.Stderr, "qsolve: flight recording run %s (bundles under %s)\n", fl.RunID(), *flightDir)
 	}
 
 	if *load != "" {
@@ -91,11 +103,20 @@ func main() {
 		quasispecies.WithShift(!*noShift),
 		quasispecies.WithXmvpRadius(*dmax),
 	}
+	var observer quasispecies.SolveObserver
 	var trace *obs.Trace
 	if *traceFile != "" {
 		trace = obs.NewTrace(*traceEvery)
-		modelOpts = append(modelOpts, quasispecies.WithObserver(
-			trace.Recorder(fmt.Sprintf("p=%g", *p))))
+		observer = trace.Recorder(fmt.Sprintf("p=%g", *p))
+	}
+	if fl != nil {
+		if trace != nil {
+			trace.SetRunID(fl.RunID())
+		}
+		observer = quasispecies.TeeSolveObservers(observer, fl.Observer(fmt.Sprintf("p=%g", *p)))
+	}
+	if observer != nil {
+		modelOpts = append(modelOpts, quasispecies.WithObserver(observer))
 	}
 	model, err := quasispecies.New(mut, l, modelOpts...)
 	exitOn(err)
@@ -133,6 +154,11 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "qsolve: convergence trace written to %s (%d rows)\n",
 				*traceFile, len(trace.Rows()))
+		}
+	}
+	if err != nil && fl != nil {
+		if dir, ok := fl.DumpOnError(err); ok {
+			fmt.Fprintf(os.Stderr, "qsolve: diagnostic bundle dumped to %s\n", dir)
 		}
 	}
 	exitOn(err)

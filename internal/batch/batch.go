@@ -70,6 +70,46 @@ func SetObserver(o Observer) {
 	schedObs.Store(&observerHook{o: o})
 }
 
+// PanicHook receives a task panic caught in a scheduler worker: the task
+// index, the recovered value, and the worker's stack at the panic site.
+// The worker re-panics with the original value after the hook returns, so
+// installing a hook never changes crash semantics — it only gives the
+// flight recorder a chance to dump a diagnostic bundle first. Hooks may
+// be called concurrently and must not panic themselves.
+type PanicHook func(task int, recovered any, stack []byte)
+
+type panicHookHolder struct{ h PanicHook }
+
+var panicHook atomic.Pointer[panicHookHolder]
+
+// SetPanicHook installs h as the process-wide worker panic hook (nil
+// uninstalls). The disabled cost is one atomic pointer load per task.
+func SetPanicHook(h PanicHook) {
+	if h == nil {
+		panicHook.Store(nil)
+		return
+	}
+	panicHook.Store(&panicHookHolder{h: h})
+}
+
+// runHooked executes task(i, s) with a recover bracket that feeds the
+// panic hook and then re-panics. Split from runOne so the nil-hook path
+// never pays for the deferred closure.
+func runHooked(hook PanicHook, h *observerHook, task func(i int, s *Slot) error, i int, s *Slot) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			hook(i, r, buf)
+			panic(r)
+		}
+	}()
+	if h == nil {
+		return task(i, s)
+	}
+	return h.runTask(task, i, s)
+}
+
 // runTask executes one task under the observer's start/done bracket.
 func (h *observerHook) runTask(task func(i int, s *Slot) error, i int, s *Slot) error {
 	h.o.TaskStart(s.id, i)
@@ -226,7 +266,9 @@ func runOne(h *observerHook, sr span.Recorder, task func(i int, s *Slot) error, 
 		sp = sr.Begin(span.LayerBatch, SpanTask)
 	}
 	var err error
-	if h == nil {
+	if ph := panicHook.Load(); ph != nil {
+		err = runHooked(ph.h, h, task, i, s)
+	} else if h == nil {
 		err = task(i, s)
 	} else {
 		err = h.runTask(task, i, s)

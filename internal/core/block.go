@@ -265,7 +265,7 @@ func BlockPowerIteration(op Operator, k int, opts PowerOptions) (*BlockPowerResu
 	if !res.Converged {
 		powerDone(sh, sp, opts.Observer, SolveKindBlockPower, EventBudgetExhausted, n, res.Iterations, res.Lambdas[0], worst)
 		return res, &ConvergenceError{
-			Reason:     ErrNoConvergence,
+			Reason: ErrNoConvergence, Method: SolveKindBlockPower,
 			Iterations: res.Iterations, Residual: maxSlice(res.Residuals), BestResidual: bestWorst,
 			SinceImprovement: res.Iterations - bestIter, Shift: opts.Shift, Tol: tol,
 		}

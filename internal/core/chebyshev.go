@@ -251,7 +251,8 @@ func ChebyshevIteration(op Operator, opts ChebyshevOptions) (ChebyshevResult, er
 			finishCheb(&res, x, opts.Work)
 			powerDone(sh, sp, opts.Observer, SolveKindChebyshev, EventStagnated, n, res.MatVecs, lambda, r)
 			return res, &ConvergenceError{
-				Reason: ErrStagnated, Detail: fmt.Sprintf("damping interval [%g, %g] may not separate λ₁ from λ₀", a, b),
+				Reason: ErrStagnated, Method: SolveKindChebyshev,
+				Detail:     fmt.Sprintf("damping interval [%g, %g] may not separate λ₁ from λ₀", a, b),
 				Iterations: res.MatVecs, Residual: r, BestResidual: bestResidual,
 				SinceImprovement: stalled * deg, Shift: b, Tol: tol,
 			}
@@ -260,7 +261,7 @@ func ChebyshevIteration(op Operator, opts ChebyshevOptions) (ChebyshevResult, er
 	finishCheb(&res, x, opts.Work)
 	powerDone(sh, sp, opts.Observer, SolveKindChebyshev, EventBudgetExhausted, n, res.MatVecs, res.Lambda, res.Residual)
 	return res, &ConvergenceError{
-		Reason:     ErrNoConvergence,
+		Reason: ErrNoConvergence, Method: SolveKindChebyshev,
 		Iterations: res.MatVecs, Residual: res.Residual, BestResidual: bestResidual,
 		Shift: b, Tol: tol,
 	}

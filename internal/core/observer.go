@@ -135,6 +135,10 @@ func SetSolveObserver(o SolveObserver) {
 type ConvergenceError struct {
 	// Reason is the sentinel cause: ErrNoConvergence or ErrStagnated.
 	Reason error
+	// Method names the eigensolver gear that failed (a SolveKind*
+	// constant: "power", "block_power", "chebyshev", "shift_invert", …);
+	// "" for errors predating the field.
+	Method string
 	// Detail is an optional context note (e.g. the Monitor abort).
 	Detail string
 	// Iterations performed when the solve terminated.

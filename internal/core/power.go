@@ -217,7 +217,8 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 				finish(dev, &res, x)
 				powerDone(sh, sp, opts.Observer, SolveKindPower, EventAborted, n, iter, res.Lambda, r)
 				return res, &ConvergenceError{
-					Reason: ErrNoConvergence, Detail: fmt.Sprintf("aborted by monitor at iteration %d", iter),
+					Reason: ErrNoConvergence, Method: SolveKindPower,
+					Detail:     fmt.Sprintf("aborted by monitor at iteration %d", iter),
 					Iterations: iter, Residual: r, BestResidual: bestResidual,
 					SinceImprovement: iter - bestIter, Shift: mu, Tol: tol,
 				}
@@ -232,7 +233,7 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 				finish(dev, &res, x)
 				powerDone(sh, sp, opts.Observer, SolveKindPower, EventStagnated, n, iter, res.Lambda, r)
 				return res, &ConvergenceError{
-					Reason:     ErrStagnated,
+					Reason: ErrStagnated, Method: SolveKindPower,
 					Iterations: iter, Residual: r, BestResidual: bestResidual,
 					SinceImprovement: iter - bestIter, Shift: mu, Tol: tol,
 				}
@@ -269,7 +270,7 @@ func PowerIteration(op Operator, opts PowerOptions) (PowerResult, error) {
 	finish(dev, &res, x)
 	powerDone(sh, sp, opts.Observer, SolveKindPower, EventBudgetExhausted, n, res.Iterations, res.Lambda, res.Residual)
 	return res, &ConvergenceError{
-		Reason:     ErrNoConvergence,
+		Reason: ErrNoConvergence, Method: SolveKindPower,
 		Iterations: res.Iterations, Residual: res.Residual, BestResidual: bestResidual,
 		SinceImprovement: res.Iterations - bestIter, Shift: mu, Tol: tol,
 	}

@@ -311,7 +311,7 @@ func ShiftInvertLanczos(op Operator, opts ShiftInvertOptions) (ShiftInvertResult
 	res.Vector = q
 	siDone(sh, sp, opts.Observer, EventBudgetExhausted, n, res.MatVecs, res.Lambda, res.Residual)
 	return res, &ConvergenceError{
-		Reason:     ErrNoConvergence,
+		Reason: ErrNoConvergence, Method: SolveKindShiftInvert,
 		Iterations: res.MatVecs, Residual: res.Residual, BestResidual: res.Residual,
 		Shift: mu, Tol: tol,
 	}

@@ -1,0 +1,17 @@
+package mutation
+
+// AVX2 reports whether the AVX2 butterfly kernels are active for this
+// process, with the degradation reason when they are not ("" when active).
+// The answer is what run manifests record: it distinguishes a host without
+// the instruction set from an operator-forced scalar run (QS_NOAVX2), the
+// two causes a post-hoc perf investigation must tell apart.
+func AVX2() (active bool, reason string) {
+	switch {
+	case useAVX2:
+		return true, ""
+	case !avx2Detected:
+		return false, "cpu or build lacks AVX2"
+	default:
+		return false, "disabled by QS_NOAVX2"
+	}
+}

@@ -121,6 +121,9 @@ func (p *SpanProfiler) WriteChromeTrace(w io.Writer) error {
 			"wall_us": usec(p.Wall()),
 		},
 	}
+	if id := p.RunID(); id != "" {
+		tr.OtherData["run_id"] = id
+	}
 	if d := p.Dropped(); d > 0 {
 		tr.OtherData["dropped_events"] = d
 	}
@@ -186,6 +189,9 @@ func (p *SpanProfiler) WriteTable(w io.Writer) error {
 		fmt.Fprintln(bw)
 	}
 	fmt.Fprintf(bw, "wall %s", fmtDur(p.Wall()))
+	if id := p.RunID(); id != "" {
+		fmt.Fprintf(bw, "   run %s", id)
+	}
 	if d := p.Dropped(); d > 0 {
 		fmt.Fprintf(bw, "   (%d span events dropped past the %d-event buffer; aggregates exact)", d, p.maxRows)
 	}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package obs
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// watchSignals dumps a diagnostic bundle on SIGUSR1 and SIGQUIT — the
+// operator's "what is this run doing right now?" lever for a process that
+// is still alive but suspect. While the flight is active the signals are
+// intercepted (the process keeps running, unlike the default SIGQUIT
+// core-dump exit); Stop restores the default dispositions.
+func (f *FlightRecorder) watchSignals() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGUSR1, syscall.SIGQUIT)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer signal.Stop(ch)
+		for {
+			select {
+			case <-f.stopCh:
+				return
+			case s := <-ch:
+				_, _ = f.DumpBundle("signal", map[string]any{"signal": s.String()})
+			}
+		}
+	}()
+}

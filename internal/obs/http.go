@@ -7,13 +7,18 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync"
+	"time"
 )
+
+// procStart anchors the /healthz uptime report.
+var procStart = time.Now()
 
 // Handler returns the debug mux: /metrics (Prometheus text exposition of
 // the default registry), /debug/vars (expvar, including the registry
-// snapshot under "qs_solver"), the net/http/pprof endpoints under
-// /debug/pprof/, and a trivial /healthz.
+// snapshot under "qs_solver"), /debug/spans, /debug/flight, the
+// net/http/pprof endpoints under /debug/pprof/, and /healthz.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -24,22 +29,82 @@ func Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/debug/spans", serveSpans)
+	mux.HandleFunc("/debug/flight", serveFlight)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", serveHealthz)
 	return mux
+}
+
+// healthzPayload identifies the deployment: build provenance (module
+// version, VCS revision, dirty flag), uptime, and — when a flight is
+// active — the run ID. Status stays "ok"/200 whenever the process can
+// answer at all, so existing `curl -sf /healthz` probes keep working.
+type healthzPayload struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Module        string  `json:"module,omitempty"`
+	Version       string  `json:"module_version,omitempty"`
+	Revision      string  `json:"vcs_revision,omitempty"`
+	VCSTime       string  `json:"vcs_time,omitempty"`
+	Dirty         bool    `json:"vcs_dirty,omitempty"`
+	RunID         string  `json:"run_id,omitempty"`
+}
+
+func serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	p := healthzPayload{
+		Status:        "ok",
+		UptimeSeconds: time.Since(procStart).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		p.GoVersion = bi.GoVersion
+		p.Module = bi.Main.Path
+		p.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				p.Revision = s.Value
+			case "vcs.time":
+				p.VCSTime = s.Value
+			case "vcs.modified":
+				p.Dirty = s.Value == "true"
+			}
+		}
+	}
+	if fl := ActiveFlight(); fl != nil {
+		p.RunID = fl.RunID()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p)
+}
+
+// serveFlight serves the live flight-recorder status: manifest, ring
+// occupancy, recent decisions, dumped bundles. With no flight active it
+// reports active=false rather than an error. ?dump=1 additionally dumps a
+// bundle (reason "manual") and names it in the response.
+func serveFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fl := ActiveFlight()
+	if fl == nil {
+		_ = json.NewEncoder(w).Encode(flightStatus{Active: false})
+		return
+	}
+	if r.URL.Query().Get("dump") == "1" {
+		_, _ = fl.DumpBundle("manual", map[string]any{"trigger": "/debug/flight?dump=1"})
+	}
+	_ = json.NewEncoder(w).Encode(fl.status())
 }
 
 // spansPayload is the /debug/spans JSON shape: the live profiler's exact
 // per-site aggregate plus its wall clock and hardware-counter status.
 type spansPayload struct {
 	Active     bool       `json:"active"`
+	RunID      string     `json:"run_id,omitempty"`
 	WallNs     int64      `json:"wall_ns,omitempty"`
 	Dropped    int64      `json:"dropped_events,omitempty"`
 	HWCActive  bool       `json:"hwc_active,omitempty"`
@@ -81,6 +146,7 @@ func serveSpans(w http.ResponseWriter, r *http.Request) {
 	payload := spansPayload{Spans: []spanJSON{}}
 	if p != nil {
 		payload.Active = true
+		payload.RunID = p.RunID()
 		payload.WallNs = p.Wall().Nanoseconds()
 		payload.Dropped = p.Dropped()
 		payload.HWCActive = p.HWCActive()

@@ -102,6 +102,7 @@ type SpanProfiler struct {
 	hwReason string
 
 	mu      sync.Mutex
+	runID   string
 	rows    []SpanRow
 	maxRows int
 	dropped int64
@@ -133,6 +134,12 @@ func NewSpanProfiler(maxEvents int) *SpanProfiler {
 		maxRows: maxEvents,
 		cur:     make(map[int64]*activeSpan),
 		stats:   make(map[spanKey]*spanAgg),
+	}
+	// A profiler born during a flight belongs to that run: stamp the run ID
+	// so later-installed profiles (per-rep -spans, qs-perf reps) still name
+	// their manifest.
+	if fl := ActiveFlight(); fl != nil {
+		p.runID = fl.RunID()
 	}
 	if rttrace.IsEnabled() {
 		p.ctx, p.task = rttrace.NewTask(context.Background(), "qs-spans")
@@ -176,6 +183,23 @@ func (p *SpanProfiler) Wall() time.Duration {
 		return p.stopped
 	}
 	return time.Since(p.epoch)
+}
+
+// SetRunID stamps the profile with the run identity of its flight: the
+// run ID appears in the Chrome trace's otherData, the text table footer,
+// and the /debug/spans payload, so a profile artifact names the manifest
+// it belongs to.
+func (p *SpanProfiler) SetRunID(id string) {
+	p.mu.Lock()
+	p.runID = id
+	p.mu.Unlock()
+}
+
+// RunID returns the stamped run identity ("" when none).
+func (p *SpanProfiler) RunID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runID
 }
 
 // Dropped returns how many span events exceeded the buffer bound (their
@@ -313,6 +337,13 @@ func (p *SpanProfiler) account(layer, name string, total, self time.Duration) *s
 }
 
 func (p *SpanProfiler) push(r SpanRow, delta *[hwc.MaxEvents]float64, hwValid bool) {
+	// Tee into the flight recorder's span ring before the buffer-bound
+	// check: the ring overwrites its oldest entries, so it keeps the most
+	// recent spans even after the profiler buffer filled. The disabled
+	// cost is the one atomic load of ActiveFlight.
+	if fl := ActiveFlight(); fl != nil {
+		fl.noteSpan(r)
+	}
 	if len(p.rows) >= p.maxRows {
 		p.dropped++
 		return

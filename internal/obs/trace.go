@@ -24,6 +24,9 @@ import (
 // through several gears on one point, and is "" for recordings made
 // before the solver reported it.
 type TraceRow struct {
+	// RunID names the flight-recorded run the row belongs to ("" for
+	// recordings made outside a flight).
+	RunID    string  `json:"run_id,omitempty"`
 	Label    string  `json:"label,omitempty"`
 	Iter     int     `json:"iter"`
 	Lambda   float64 `json:"lambda"`
@@ -38,7 +41,16 @@ type TraceRow struct {
 type Trace struct {
 	mu    sync.Mutex
 	every int
+	runID string
 	rows  []TraceRow
+}
+
+// SetRunID stamps every subsequently appended row with the flight run
+// identity, tying exported trace files to their manifest.
+func (t *Trace) SetRunID(id string) {
+	t.mu.Lock()
+	t.runID = id
+	t.mu.Unlock()
 }
 
 // NewTrace returns a trace that keeps every `every`-th Step row of each
@@ -54,6 +66,9 @@ func NewTrace(every int) *Trace {
 
 func (t *Trace) append(row TraceRow) {
 	t.mu.Lock()
+	if row.RunID == "" {
+		row.RunID = t.runID
+	}
 	t.rows = append(t.rows, row)
 	t.mu.Unlock()
 }

@@ -47,18 +47,24 @@ type PhaseStat struct {
 
 // Record is one ledger entry: a profiled run of a fixed benchmark workload.
 type Record struct {
-	Time        string           `json:"time"` // RFC 3339
-	Rev         string           `json:"rev,omitempty"`
-	Label       string           `json:"label"`
-	Nu          int              `json:"nu"`
-	P           float64          `json:"p"`
-	Method      string           `json:"method"`
-	Reps        int              `json:"reps"`
-	WallSeconds float64          `json:"wall_seconds"`
-	Iterations  int              `json:"iterations"`
-	Lambda      float64          `json:"lambda"` // correctness anchor: must not drift between runs
-	Host        harness.HostInfo `json:"host"`
-	Phases      []PhaseStat      `json:"phases"`
+	Time string `json:"time"` // RFC 3339
+	Rev  string `json:"rev,omitempty"`
+	// RunID ties the entry to a flight-recorded run: it matches the run
+	// manifest, span profile, and trace rows of the measurement, and
+	// FlightBundle names the diagnostic bundle directory when the run
+	// dumped one. Both are empty for runs recorded without -flight.
+	RunID        string           `json:"run_id,omitempty"`
+	FlightBundle string           `json:"flight_bundle,omitempty"`
+	Label        string           `json:"label"`
+	Nu           int              `json:"nu"`
+	P            float64          `json:"p"`
+	Method       string           `json:"method"`
+	Reps         int              `json:"reps"`
+	WallSeconds  float64          `json:"wall_seconds"`
+	Iterations   int              `json:"iterations"`
+	Lambda       float64          `json:"lambda"` // correctness anchor: must not drift between runs
+	Host         harness.HostInfo `json:"host"`
+	Phases       []PhaseStat      `json:"phases"`
 
 	// HWCActive marks a run whose phases carry hardware-counter columns;
 	// HWCReason preserves why they do not when -hwc was requested but

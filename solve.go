@@ -70,6 +70,7 @@ type Model struct {
 	useShift   bool
 	workers    int
 	xmvpRadius int
+	start      []float64
 	observer   SolveObserver
 	hwc        bool
 	dev        *device.Device
@@ -177,6 +178,22 @@ func WithXmvpRadius(dmax int) Option {
 			return fmt.Errorf("quasispecies: Xmvp radius %d must be ≥ 1", dmax)
 		}
 		mo.xmvpRadius = dmax
+		return nil
+	}
+}
+
+// WithStart seeds the iterative solvers with the given concentration
+// vector (length 2^ν, Right-form) instead of the fitness start — e.g. the
+// Concentrations of a checkpointed Solution, so an interrupted sweep
+// resumes where it stopped. The slice is copied at solve time and never
+// mutated; formulations other than Right (MethodLanczos) convert the copy.
+// The reduced method, which is direct, ignores it.
+func WithStart(x []float64) Option {
+	return func(mo *Model) error {
+		if len(x) == 0 {
+			return fmt.Errorf("quasispecies: start vector must be non-empty")
+		}
+		mo.start = x
 		return nil
 	}
 }
@@ -340,9 +357,13 @@ func (mo *Model) solvePower() (*Solution, error) {
 }
 
 func (mo *Model) solveWithOperator(op core.Operator, method Method) (*Solution, error) {
+	start, err := mo.startVector(core.Right)
+	if err != nil {
+		return nil, err
+	}
 	popts := core.PowerOptions{
 		Tol: mo.effectiveTol(), MaxIter: mo.maxIter,
-		Start: core.FitnessStart(mo.land.l),
+		Start: start,
 		Dev:   mo.dev,
 	}
 	if mo.observer != nil {
@@ -363,7 +384,10 @@ func (mo *Model) solveLanczos() (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := core.FitnessStart(mo.land.l)
+	start, err := mo.startVector(core.Symmetric)
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.Lanczos(op, core.LanczosOptions{Tol: mo.effectiveTol(), Start: start})
 	if err != nil {
 		return nil, err
@@ -395,13 +419,39 @@ func (mo *Model) solveArnoldi() (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	start, err := mo.startVector(core.Right)
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.Arnoldi(op, core.ArnoldiOptions{
-		Tol: mo.effectiveTol(), Start: core.FitnessStart(mo.land.l),
+		Tol: mo.effectiveTol(), Start: start,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return mo.finishSolution(res.Lambda, res.Vector, res.MatVecs, res.Residual, MethodArnoldi)
+}
+
+// startVector returns the starting iterate in the requested formulation:
+// a converted copy of the WithStart vector when one was set, else the
+// fitness start.
+func (mo *Model) startVector(form core.Formulation) ([]float64, error) {
+	if mo.start == nil {
+		// The fitness start serves every formulation as-is (any positive
+		// vector is an admissible iterate); converting it here would
+		// perturb long-standing bit-identical baselines.
+		return core.FitnessStart(mo.land.l), nil
+	}
+	if len(mo.start) != mo.Dim() {
+		return nil, fmt.Errorf("%w: start vector length %d, want %d",
+			ErrInvalidModel, len(mo.start), mo.Dim())
+	}
+	x := make([]float64, len(mo.start))
+	copy(x, mo.start)
+	if err := core.ConvertEigenvector(x, core.Right, form, mo.land.l); err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
 // effectiveTol returns the user's tolerance, or the floating-point-floor
