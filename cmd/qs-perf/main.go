@@ -24,9 +24,11 @@ import (
 
 	quasispecies "repro"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/harness"
 	"repro/internal/landscape"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -85,6 +87,7 @@ type workload struct {
 	label     string
 	flight    bool
 	flightDir string
+	telemetry bool
 
 	// fl is the active flight recording of this measurement run (nil
 	// without -flight); its run ID is embedded in the ledger record.
@@ -104,7 +107,23 @@ func workloadFlags(fs *flag.FlagSet) *workload {
 	fs.StringVar(&w.label, "label", "", "ledger label (default derived from the workload)")
 	fs.BoolVar(&w.flight, "flight", false, "flight-record the measurement run and embed its run ID in the ledger entry")
 	fs.StringVar(&w.flightDir, "flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
+	fs.BoolVar(&w.telemetry, "telemetry", false, "sample resource telemetry at 1 Hz during the measurement (served on /debug/telemetry; memory stamping works without it)")
 	return w
+}
+
+// startTelemetry starts the -telemetry sampler for a measurement run and
+// returns its stop function (a no-op without the flag).
+func startTelemetry(w *workload) func() {
+	if !w.telemetry {
+		return func() {}
+	}
+	tm := quasispecies.StartTelemetry(quasispecies.TelemetryOptions{})
+	return func() {
+		if n := tm.Notice(); n != "" {
+			fmt.Fprintf(os.Stderr, "qs-perf: %s\n", n)
+		}
+		tm.Stop()
+	}
 }
 
 // startFlight begins the -flight recording for a measurement run. The
@@ -186,6 +205,19 @@ func startProfile(w *workload, rep int) *quasispecies.SpanProfile {
 	return prof
 }
 
+// stampMemory records the measurement process' memory footprint into the
+// record after the last repetition: peak RSS (VmHWM, which covers every
+// rep — the conservative bound the gate wants) and the device-arena
+// occupancy high-water. Degrades silently to zero fields when procfs is
+// unavailable; the gate skips records without them.
+func stampMemory(rec *perf.Record) {
+	if mem := obs.ReadMemStatus(); mem.Available {
+		rec.PeakRSSBytes = mem.PeakRSSBytes
+	}
+	_, _, hi := device.ArenaTotals()
+	rec.ArenaHighWaterFloats = hi
+}
+
 func (w *workload) resolveLabel() string {
 	if w.label == "" {
 		switch w.kind {
@@ -249,6 +281,7 @@ func measureSolve(w *workload) (perf.Record, error) {
 		rec.Iterations, rec.Lambda = sol.Iterations, sol.Lambda
 		best = rec
 	}
+	stampMemory(&best)
 	best.Time = time.Now().UTC().Format(time.RFC3339)
 	best.Rev = perf.GitRev(".")
 	best.Host = harness.CollectHostInfo()
@@ -296,6 +329,7 @@ func measureCritical(w *workload) (perf.Record, error) {
 		rec.Iterations = stats.TotalIterations()
 		best = rec
 	}
+	stampMemory(&best)
 	best.Time = time.Now().UTC().Format(time.RFC3339)
 	best.Rev = perf.GitRev(".")
 	best.Host = harness.CollectHostInfo()
@@ -306,6 +340,8 @@ func runRecord(argv []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	w := workloadFlags(fs)
 	fs.Parse(argv)
+	stopTelemetry := startTelemetry(w)
+	defer stopTelemetry()
 	startFlight(w, fs)
 	rec, err := measure(w)
 	finishFlight(w, &rec, err)
@@ -338,6 +374,8 @@ func runCheck(argv []string) error {
 		return err
 	}
 	base, ok := perf.Latest(recs, w.resolveLabel())
+	stopTelemetry := startTelemetry(w)
+	defer stopTelemetry()
 	startFlight(w, fs)
 	cur, merr := measure(w)
 	finishFlight(w, &cur, merr)
@@ -421,11 +459,19 @@ func runList(argv []string) error {
 		fmt.Printf("ledger %s is empty\n", *ledger)
 		return nil
 	}
-	fmt.Printf("%-20s %-9s %-32s %10s %8s %s\n", "time", "rev", "label", "wall[s]", "iters", "host")
+	fmt.Printf("%-20s %-9s %-32s %10s %8s %10s %12s %s\n",
+		"time", "rev", "label", "wall[s]", "iters", "peak-rss", "arena-hi", "host")
 	for _, r := range recs {
-		fmt.Printf("%-20s %-9s %-32s %10.4g %8d %s/%s ncpu=%d\n",
+		rss, hi := "-", "-"
+		if r.PeakRSSBytes > 0 {
+			rss = obs.FormatBytes(r.PeakRSSBytes)
+		}
+		if r.ArenaHighWaterFloats > 0 {
+			hi = fmt.Sprintf("%df64", r.ArenaHighWaterFloats)
+		}
+		fmt.Printf("%-20s %-9s %-32s %10.4g %8d %10s %12s %s/%s ncpu=%d\n",
 			r.Time, orDash(r.Rev), r.Label, r.WallSeconds, r.Iterations,
-			r.Host.GOOS, r.Host.GOARCH, r.Host.NumCPU)
+			rss, hi, r.Host.GOOS, r.Host.GOARCH, r.Host.NumCPU)
 	}
 	return nil
 }

@@ -78,10 +78,20 @@ func main() {
 		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; extras via QS_HWC_EVENTS)")
 		flight     = flag.Bool("flight", false, "flight-record the run: manifest, black-box rings, numerical-health watchdog, diagnostic bundles on failure")
 		flightDir  = flag.String("flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
+		telemetry  = flag.Bool("telemetry", false, "sample resource telemetry (RSS, NUMA placement, arena occupancy) at 1 Hz; served on /debug/telemetry and by qs-top")
 	)
 	flag.Parse()
 	if *tile > 0 {
 		mutation.SetTileBits(*tile)
+	}
+	if *telemetry {
+		tm := quasispecies.StartTelemetry(quasispecies.TelemetryOptions{})
+		defer func() {
+			if n := tm.Notice(); n != "" {
+				fmt.Fprintf(os.Stderr, "qs-solverbench: %s\n", n)
+			}
+			tm.Stop()
+		}()
 	}
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr)

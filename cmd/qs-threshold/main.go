@@ -52,8 +52,15 @@ func main() {
 		hwcFlag    = flag.Bool("hwc", false, "attribute hardware counters (perf_event_open: IPC, cache misses) to the span profile (implies -spans; requires -full; extras via QS_HWC_EVENTS)")
 		flight     = flag.Bool("flight", false, "flight-record the sweep: manifest, black-box rings, numerical-health watchdog, diagnostic bundles on failure (requires -full)")
 		flightDir  = flag.String("flight-dir", "flight-bundles", "directory receiving flight diagnostic bundles")
+		telemetry  = flag.Bool("telemetry", false, "sample resource telemetry (RSS, NUMA placement, arena occupancy, points/sec) at 1 Hz; served on /debug/telemetry and by qs-top")
 	)
 	flag.Parse()
+
+	var tm *quasispecies.Telemetry
+	if *telemetry {
+		tm = quasispecies.StartTelemetry(quasispecies.TelemetryOptions{})
+		defer tm.Stop()
+	}
 
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr)
@@ -113,6 +120,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qs-threshold: flight recording run %s (bundles under %s)\n", fl.RunID(), *flightDir)
 	}
 
+	obs.RecordSweepStart(len(ps))
 	opts := quasispecies.SweepOptions{Workers: *workers, WarmStart: *warm, Method: *method, HWC: *hwcFlag}
 	if *progress || *debugAddr != "" || fl != nil {
 		pr := *progress
@@ -197,6 +205,11 @@ func main() {
 	if err != nil && fl != nil {
 		if dir, ok := fl.DumpOnError(err); ok {
 			fmt.Fprintf(os.Stderr, "qs-threshold: diagnostic bundle dumped to %s\n", dir)
+		}
+	}
+	if tm != nil {
+		if n := tm.Notice(); n != "" {
+			fmt.Fprintf(os.Stderr, "qs-threshold: %s\n", n)
 		}
 	}
 	exitOn(err)

@@ -1,0 +1,202 @@
+// Command qs-top is a live terminal dashboard over a solver process'
+// /debug/telemetry endpoint: one row per telemetry series (RSS, huge-page
+// adoption, NUMA placement, arena occupancy, pool pressure, sweep
+// points/sec) with windowed aggregates and a Unicode sparkline, refreshed
+// in place with ANSI escapes.
+//
+//	qs-threshold -full -nu 14 -steps 48 -telemetry -debug-addr 127.0.0.1:9190 &
+//	qs-top                       # live view, refreshed every second
+//	qs-top -once                 # one snapshot to stdout (CI smoke)
+//
+// Against a process without -telemetry the dashboard stays up and shows
+// the single "sampler not running" notice the endpoint serves.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9190", "debug server address (host:port) of the solver process")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one snapshot to stdout and exit (no ANSI, CI-friendly)")
+		window   = flag.Duration("window", 0, "aggregate window for the stats columns (0 = everything retained)")
+		spark    = flag.Int("spark", 32, "sparkline width in cells")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	if *once {
+		if err := refresh(os.Stdout, client, *addr, *window, *spark, false); err != nil {
+			fmt.Fprintln(os.Stderr, "qs-top:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		if err := refresh(os.Stdout, client, *addr, *window, *spark, true); err != nil {
+			// A dead or restarting process is a state to display, not a
+			// reason to exit: keep polling.
+			fmt.Fprintf(os.Stdout, "\x1b[H\x1b[2Jqs-top — %s\n\n%v\n", *addr, err)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// payload mirrors the /debug/telemetry JSON shape (the subset qs-top uses).
+type payload struct {
+	Active        bool    `json:"active"`
+	Notice        string  `json:"notice"`
+	StartedUnixMS int64   `json:"started_unix_ms"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	State         *struct {
+		Mem struct {
+			Available     bool    `json:"available"`
+			Reason        string  `json:"reason"`
+			RSSBytes      int64   `json:"rss_bytes"`
+			PeakRSSBytes  int64   `json:"rss_peak_bytes"`
+			AnonHugeBytes int64   `json:"anon_huge_bytes"`
+			HugeRatio     float64 `json:"huge_ratio"`
+		} `json:"mem"`
+		Solver struct {
+			PoolWorkers   int   `json:"pool_workers"`
+			BatchInflight int64 `json:"batch_inflight"`
+			BatchDone     int64 `json:"batch_done"`
+			BatchPlanned  int64 `json:"batch_planned"`
+		} `json:"solver"`
+	} `json:"state"`
+	Series []struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Unit   string `json:"unit"`
+		Window *struct {
+			Points     int     `json:"points"`
+			Last       float64 `json:"last"`
+			Min        float64 `json:"min"`
+			Max        float64 `json:"max"`
+			RatePerSec float64 `json:"rate_per_sec"`
+		} `json:"window"`
+		Points []struct {
+			T int64   `json:"unix_ns"`
+			V float64 `json:"value"`
+		} `json:"points"`
+	} `json:"series"`
+}
+
+type healthz struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     int64   `json:"heap_bytes"`
+	RunID         string  `json:"run_id"`
+}
+
+// refresh fetches one telemetry + healthz snapshot and renders it. With
+// ansi it first homes the cursor and clears the screen.
+func refresh(w io.Writer, client *http.Client, addr string, window time.Duration, spark int, ansi bool) error {
+	q := url.Values{"points": []string{strconv.Itoa(max(spark, 1))}}
+	if window > 0 {
+		q.Set("window", window.String())
+	}
+	var p payload
+	if err := fetchJSON(client, "http://"+addr+"/debug/telemetry?"+q.Encode(), &p); err != nil {
+		return err
+	}
+	var h healthz
+	_ = fetchJSON(client, "http://"+addr+"/healthz", &h) // optional garnish
+
+	var b strings.Builder
+	if ansi {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(&b, "qs-top — %s · up %s", addr, (time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	if h.RunID != "" {
+		fmt.Fprintf(&b, " · run %s", h.RunID)
+	}
+	fmt.Fprintf(&b, " · %d goroutines · heap %s\n", h.Goroutines, obs.FormatBytes(h.HeapBytes))
+
+	if !p.Active {
+		fmt.Fprintf(&b, "\n%s\n", p.Notice)
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if st := p.State; st != nil {
+		if st.Mem.Available {
+			fmt.Fprintf(&b, "rss %s (peak %s) · thp %s (%.0f%%)",
+				obs.FormatBytes(st.Mem.RSSBytes), obs.FormatBytes(st.Mem.PeakRSSBytes),
+				obs.FormatBytes(st.Mem.AnonHugeBytes), 100*st.Mem.HugeRatio)
+		} else {
+			fmt.Fprintf(&b, "mem unavailable: %s", st.Mem.Reason)
+		}
+		if st.Solver.BatchPlanned > 0 {
+			fmt.Fprintf(&b, " · tasks %d/%d (%d in flight)",
+				st.Solver.BatchDone, st.Solver.BatchPlanned, st.Solver.BatchInflight)
+		}
+		b.WriteByte('\n')
+	}
+	if p.Notice != "" {
+		fmt.Fprintf(&b, "notice: %s\n", p.Notice)
+	}
+	fmt.Fprintf(&b, "\n%-28s %12s %12s %12s %10s  %s\n", "SERIES", "LAST", "MIN", "MAX", "RATE/S", "TREND")
+	for _, s := range p.Series {
+		if s.Window == nil || s.Window.Points == 0 {
+			continue
+		}
+		vals := make([]float64, len(s.Points))
+		for i, pt := range s.Points {
+			vals[i] = pt.V
+		}
+		rate := "-"
+		if s.Kind == "cumulative" {
+			rate = fmtVal("1/s", s.Window.RatePerSec)
+		}
+		fmt.Fprintf(&b, "%-28s %12s %12s %12s %10s  %s\n",
+			s.Name,
+			fmtVal(s.Unit, s.Window.Last),
+			fmtVal(s.Unit, s.Window.Min),
+			fmtVal(s.Unit, s.Window.Max),
+			rate,
+			obs.Sparkline(vals, spark))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fetchJSON(client *http.Client, url string, dst any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// fmtVal renders a value according to its series unit (mirrors the
+// ?format=text renderer).
+func fmtVal(unit string, v float64) string {
+	switch unit {
+	case "bytes":
+		return obs.FormatBytes(int64(v))
+	case "s":
+		return fmt.Sprintf("%.4gs", v)
+	default:
+		if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+			return strconv.FormatInt(int64(v), 10)
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -119,6 +119,23 @@ func (h *observerHook) runTask(task func(i int, s *Slot) error, i int, s *Slot) 
 	return err
 }
 
+// Live scheduler counters for the telemetry sampler: unlike the Observer
+// hook these are always on (a task is a whole eigensolve, so two atomic
+// adds per task are free) and therefore readable even when no metrics
+// observer was installed. Planned accumulates the task count of every Run;
+// done/planned is the sweep's chain-progress signal.
+var live struct {
+	inflight atomic.Int64
+	done     atomic.Int64
+	planned  atomic.Int64
+}
+
+// LiveStats reads the always-on scheduler counters: tasks currently
+// executing, tasks completed, and tasks ever submitted across all runs.
+func LiveStats() (inflight, done, planned int64) {
+	return live.inflight.Load(), live.done.Load(), live.planned.Load()
+}
+
 // DefaultChainLen is the number of consecutive sweep points per warm-start
 // chain when the caller does not choose one. Within a chain, point k seeds
 // the solve of point k+1; across chains solves are independent, which is
@@ -145,9 +162,10 @@ func Workers(n int) int {
 // whole scratch of one worker is a handful of contiguous slabs whose pages
 // are first-touched (hence NUMA-placed) by the goroutine that sweeps them.
 type Slot struct {
-	id    int
-	arena *device.Arena
-	bufs  map[int][]float64
+	id      int
+	workers int
+	arena   *device.Arena
+	bufs    map[int][]float64
 }
 
 // ID returns the slot's index in [0, workers).
@@ -161,7 +179,9 @@ func (s *Slot) ID() int { return s.id }
 // abandoned sizes across a sweep that changes ν.
 func (s *Slot) Vec(key, n int) []float64 {
 	if s.bufs == nil {
-		s.arena = device.NewArena(0)
+		// Attribute the slot's arena to the worker's NUMA node so the
+		// telemetry's per-node occupancy matches first-touch placement.
+		s.arena = device.NewWorkerArena(s.id, s.workers)
 		s.bufs = make(map[int][]float64)
 	}
 	b, ok := s.bufs[key]
@@ -203,6 +223,7 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 	if sr != nil {
 		sp = sr.Begin(span.LayerBatch, SpanRun)
 	}
+	live.planned.Add(int64(n))
 	if h != nil {
 		h.o.RunStart(n, workers)
 		defer func(start time.Time) { h.o.RunDone(n, time.Since(start)) }(time.Now())
@@ -210,7 +231,7 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 	if workers == 1 {
 		// Serial fast path: no goroutines, no synchronization — the
 		// reference execution the parallel path is tested against.
-		s := &Slot{id: 0}
+		s := &Slot{id: 0, workers: 1}
 		var firstErr error
 		firstIdx := n
 		for i := 0; i < n; i++ {
@@ -250,7 +271,7 @@ func Run(n, workers int, task func(i int, s *Slot) error) error {
 					mu.Unlock()
 				}
 			}
-		}(&Slot{id: w})
+		}(&Slot{id: w, workers: workers})
 	}
 	wg.Wait()
 	span.End(sp, int64(n), int64(workers))
@@ -265,6 +286,11 @@ func runOne(h *observerHook, sr span.Recorder, task func(i int, s *Slot) error, 
 	if sr != nil {
 		sp = sr.Begin(span.LayerBatch, SpanTask)
 	}
+	live.inflight.Add(1)
+	defer func() {
+		live.inflight.Add(-1)
+		live.done.Add(1)
+	}()
 	var err error
 	if ph := panicHook.Load(); ph != nil {
 		err = runHooked(ph.h, h, task, i, s)

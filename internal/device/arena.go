@@ -21,6 +21,13 @@ type Arena struct {
 	slabs      [][]float64 // all slabs ever grown, reused after Reset
 	cur        int         // index into slabs of the slab being bumped
 	off        int         // bump offset within slabs[cur]
+
+	// statIdx is the arena's bucket in the process-wide accounting
+	// (stats.go): 0 for unattributed arenas, node+1 for node arenas.
+	// usedFloats mirrors the arena's contribution to its bucket's used
+	// counter so Reset can retract it.
+	statIdx    int
+	usedFloats int64
 }
 
 // defaultSlabFloats is one huge page worth of float64s: slabs at least this
@@ -53,6 +60,7 @@ func (a *Arena) Alloc(n int) []float64 {
 		if a.off+n <= len(s) {
 			v := s[a.off : a.off+n : a.off+n]
 			a.off += step
+			a.noteUsed(int64(step))
 			return v
 		}
 		a.cur++
@@ -65,15 +73,25 @@ func (a *Arena) Alloc(n int) []float64 {
 	slab := AlignedFloat64s(size)
 	a.slabs = append(a.slabs, slab)
 	a.cur = len(a.slabs) - 1
+	arenaNoteGrow(a.statIdx, int64(len(slab)))
 	if n == len(slab) {
 		// Dedicated slab: leave cur past it so the next small grab does
 		// not scan a full slab.
 		a.cur++
 		a.off = 0
+		a.noteUsed(int64(step))
 		return slab[:n:n]
 	}
 	a.off = step
+	a.noteUsed(int64(step))
 	return slab[:n:n]
+}
+
+// noteUsed adds delta floats to the arena's occupancy, mirrored into the
+// process-wide accounting bucket (stats.go) the telemetry sampler reads.
+func (a *Arena) noteUsed(delta int64) {
+	a.usedFloats += delta
+	arenaNoteUsed(a.statIdx, delta)
 }
 
 // Reset makes every slab available again without releasing memory. Slices
@@ -82,6 +100,10 @@ func (a *Arena) Alloc(n int) []float64 {
 func (a *Arena) Reset() {
 	a.cur = 0
 	a.off = 0
+	if a.usedFloats != 0 {
+		arenaNoteUsed(a.statIdx, -a.usedFloats)
+		a.usedFloats = 0
+	}
 }
 
 // Footprint returns the total float64 capacity held by the arena's slabs.
@@ -117,7 +139,9 @@ func NodeArena(k int) *Arena {
 	nodeArenas.mu.Lock()
 	defer nodeArenas.mu.Unlock()
 	for len(nodeArenas.arenas) < t.Nodes() {
-		nodeArenas.arenas = append(nodeArenas.arenas, NewArena(0))
+		a := NewArena(0)
+		a.statIdx = arenaStatIdx(len(nodeArenas.arenas))
+		nodeArenas.arenas = append(nodeArenas.arenas, a)
 	}
 	return nodeArenas.arenas[k]
 }

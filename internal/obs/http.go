@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ func Handler() http.Handler {
 	})
 	mux.HandleFunc("/debug/spans", serveSpans)
 	mux.HandleFunc("/debug/flight", serveFlight)
+	mux.HandleFunc("/debug/telemetry", serveTelemetry)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -54,12 +56,37 @@ type healthzPayload struct {
 	VCSTime       string  `json:"vcs_time,omitempty"`
 	Dirty         bool    `json:"vcs_dirty,omitempty"`
 	RunID         string  `json:"run_id,omitempty"`
+
+	// Memory summary, so a health probe doubles as a cheap resource check.
+	// RSS fields come from procfs and are omitted (with MemReason set) when
+	// unavailable; the Go runtime fields work everywhere.
+	RSSBytes      int64  `json:"rss_bytes,omitempty"`
+	PeakRSSBytes  int64  `json:"rss_peak_bytes,omitempty"`
+	MemReason     string `json:"mem_reason,omitempty"`
+	HeapBytes     uint64 `json:"heap_bytes"`
+	Goroutines    int    `json:"goroutines"`
+	LastGCPauseNS uint64 `json:"last_gc_pause_ns"`
+	Telemetry     bool   `json:"telemetry_active"`
 }
 
 func serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	p := healthzPayload{
 		Status:        "ok",
 		UptimeSeconds: time.Since(procStart).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Telemetry:     ActiveSampler() != nil,
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.HeapBytes = ms.HeapAlloc
+	if ms.NumGC > 0 {
+		p.LastGCPauseNS = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	if mem := ReadMemStatus(); mem.Available {
+		p.RSSBytes = mem.RSSBytes
+		p.PeakRSSBytes = mem.PeakRSSBytes
+	} else {
+		p.MemReason = mem.Reason
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		p.GoVersion = bi.GoVersion

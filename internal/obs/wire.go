@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -105,17 +106,151 @@ func (m *solveMetrics) SolveDone(kind string, iters int, residual float64, outco
 	m.lastRes.Set(residual)
 }
 
-// sweepMetrics backs RecordSweepPoint.
+// sweepMetrics backs RecordSweepPoint and RecordSweepStart.
 type sweepMetrics struct {
 	points   *Counter
 	iters    *Counter
 	warmHits *Counter
 	lastP    *GaugeFloat
+	planned  *Counter
+}
+
+// resourceMetrics backs UpdateResourceGauges: pull-based qs_* gauges the
+// telemetry sampler refreshes once per tick, covering process memory,
+// Go runtime state, arena occupancy and pool pressure. Per-node families
+// are registered lazily at the first tick that sees the node.
+type resourceMetrics struct {
+	r *Registry
+
+	memRSS    *Gauge
+	memPeak   *Gauge
+	memHuge   *Gauge
+	hugeRatio *GaugeFloat
+
+	heap       *Gauge
+	goroutines *Gauge
+	gcPause    *GaugeFloat
+
+	arenaFoot map[int]*Gauge
+	arenaUsed map[int]*Gauge
+	arenaHi   map[int]*Gauge
+	numaBytes map[int]*Gauge
+
+	poolQueue  *Gauge
+	poolSteals *Gauge
+	poolClaims *Gauge
+
+	inflight *Gauge
+	planned  *Gauge
+	progress *GaugeFloat
 }
 
 var wire struct {
-	once  sync.Once
-	sweep *sweepMetrics
+	once     sync.Once
+	sweep    *sweepMetrics
+	resource *resourceMetrics
+}
+
+// ArenaSnapshot mirrors device.ArenaStats without exposing the device
+// package to the rest of obs (wire.go stays the single crossing point).
+type ArenaSnapshot struct {
+	Node            int   `json:"node"`
+	FootprintFloats int64 `json:"footprint_floats"`
+	UsedFloats      int64 `json:"used_floats"`
+	HighWaterFloats int64 `json:"highwater_floats"`
+}
+
+// SolverResources is one pull of the always-on device/batch counters — the
+// solver-side half of a sampler tick. All fields are readable whether or
+// not any observer hook was ever installed.
+type SolverResources struct {
+	Arenas []ArenaSnapshot `json:"arenas,omitempty"`
+
+	PoolWorkers    int   `json:"pool_workers"`
+	PoolQueueDepth int   `json:"pool_queue_depth"`
+	PoolClaimed    int64 `json:"pool_chunks_claimed"`
+	PoolStolen     int64 `json:"pool_chunks_stolen"`
+
+	BatchInflight int64 `json:"batch_inflight"`
+	BatchDone     int64 `json:"batch_done"`
+	BatchPlanned  int64 `json:"batch_planned"`
+}
+
+// ReadSolverResources polls the device arenas, the worker pool and the
+// batch scheduler. Cost: a few dozen atomic loads; safe at any frequency.
+func ReadSolverResources() SolverResources {
+	res := SolverResources{}
+	for _, a := range device.AllArenaStats() {
+		res.Arenas = append(res.Arenas, ArenaSnapshot{
+			Node:            a.Node,
+			FootprintFloats: a.FootprintFloats,
+			UsedFloats:      a.UsedFloats,
+			HighWaterFloats: a.HighWaterFloats,
+		})
+	}
+	ps := device.PoolStatsNow()
+	res.PoolWorkers = ps.Workers
+	res.PoolQueueDepth = ps.QueueDepth
+	res.PoolClaimed = ps.ChunksClaimed
+	res.PoolStolen = ps.ChunksStolen
+	res.BatchInflight, res.BatchDone, res.BatchPlanned = batch.LiveStats()
+	return res
+}
+
+// nodeGauge lazily registers a per-node gauge family member.
+func (m *resourceMetrics) nodeGauge(cache map[int]*Gauge, node int, family, help string) *Gauge {
+	if g, ok := cache[node]; ok {
+		return g
+	}
+	label := "unattributed"
+	if node >= 0 {
+		label = fmt.Sprintf("%d", node)
+	}
+	g := m.r.Gauge(fmt.Sprintf(`%s{node=%q}`, family, label), help)
+	cache[node] = g
+	return g
+}
+
+// UpdateResourceGauges refreshes the pull-based resource gauges from one
+// sampler tick's reads. numa may be nil (NUMA is sampled less often than
+// the rest). A no-op until EnableSolverMetrics has run. Not safe for
+// concurrent callers (the sampler goroutine is the only caller).
+func UpdateResourceGauges(mem MemStatus, rt RuntimeStatus, numa *NUMAStatus, res SolverResources) {
+	m := wire.resource
+	if m == nil {
+		return
+	}
+	if mem.Available {
+		m.memRSS.Set(mem.RSSBytes)
+		m.memPeak.Set(mem.PeakRSSBytes)
+		m.memHuge.Set(mem.AnonHugeBytes)
+		m.hugeRatio.Set(mem.HugeRatio)
+	}
+	m.heap.Set(rt.HeapBytes)
+	m.goroutines.Set(rt.Goroutines)
+	m.gcPause.Set(rt.GCPauseTotal)
+	for _, a := range res.Arenas {
+		m.nodeGauge(m.arenaFoot, a.Node, "qs_device_arena_footprint_floats",
+			"Total slab capacity of the device arenas, in float64s, by NUMA node.").Set(a.FootprintFloats)
+		m.nodeGauge(m.arenaUsed, a.Node, "qs_device_arena_used_floats",
+			"Live bump occupancy of the device arenas, in float64s, by NUMA node.").Set(a.UsedFloats)
+		m.nodeGauge(m.arenaHi, a.Node, "qs_device_arena_highwater_floats",
+			"High-water bump occupancy of the device arenas, in float64s, by NUMA node.").Set(a.HighWaterFloats)
+	}
+	if numa != nil && numa.Available {
+		for node, b := range numa.NodeBytes {
+			m.nodeGauge(m.numaBytes, node, "qs_mem_numa_bytes",
+				"Resident bytes placed on each NUMA node (from /proc/self/numa_maps).").Set(b)
+		}
+	}
+	m.poolQueue.Set(int64(res.PoolQueueDepth))
+	m.poolSteals.Set(res.PoolStolen)
+	m.poolClaims.Set(res.PoolClaimed)
+	m.inflight.Set(res.BatchInflight)
+	m.planned.Set(res.BatchPlanned)
+	if res.BatchPlanned > 0 {
+		m.progress.Set(float64(res.BatchDone) / float64(res.BatchPlanned))
+	}
 }
 
 // EnableSolverMetrics registers the qs_* metric families in the default
@@ -202,8 +337,41 @@ func EnableSolverMetrics() {
 			iters:    r.Counter("qs_sweep_iterations_total", "Power iterations accumulated over sweep points."),
 			warmHits: r.Counter("qs_sweep_warm_hits_total", "Sweep points solved from a warm-start seed."),
 			lastP:    r.GaugeFloat("qs_sweep_last_p", "Mutation probability of the most recently solved sweep point."),
+			planned:  r.Counter("qs_sweep_points_planned_total", "Sweep points announced by sweep drivers before solving."),
+		}
+
+		wire.resource = &resourceMetrics{
+			r:          r,
+			memRSS:     r.Gauge("qs_mem_rss_bytes", "Resident set size (VmRSS), refreshed by the resource sampler."),
+			memPeak:    r.Gauge("qs_mem_rss_peak_bytes", "Peak resident set size (VmHWM)."),
+			memHuge:    r.Gauge("qs_mem_anon_huge_bytes", "RSS backed by transparent huge pages (AnonHugePages)."),
+			hugeRatio:  r.GaugeFloat("qs_mem_huge_ratio", "Share of RSS backed by transparent huge pages."),
+			heap:       r.Gauge("qs_runtime_heap_bytes", "Go heap object bytes (runtime/metrics)."),
+			goroutines: r.Gauge("qs_runtime_goroutines", "Live goroutine count."),
+			gcPause:    r.GaugeFloat("qs_runtime_gc_pause_seconds", "Approximate cumulative GC stop-the-world pause seconds."),
+			arenaFoot:  map[int]*Gauge{},
+			arenaUsed:  map[int]*Gauge{},
+			arenaHi:    map[int]*Gauge{},
+			numaBytes:  map[int]*Gauge{},
+			poolQueue:  r.Gauge("qs_device_pool_queue_depth", "Batches sitting unclaimed in pool worker queues."),
+			poolSteals: r.Gauge("qs_device_pool_chunks_stolen", "Cumulative chunks executed from a non-home part (work stealing)."),
+			poolClaims: r.Gauge("qs_device_pool_chunks_claimed", "Cumulative chunks executed from a participant's home part."),
+			inflight:   r.Gauge("qs_batch_live_inflight", "Scheduler tasks currently executing (always-on counter, no observer needed)."),
+			planned:    r.Gauge("qs_batch_tasks_planned", "Scheduler tasks ever submitted across all runs."),
+			progress:   r.GaugeFloat("qs_batch_chain_progress", "Completed fraction of all submitted scheduler tasks."),
 		}
 	})
+}
+
+// RecordSweepStart announces a sweep of n points before any of them solve,
+// feeding qs_sweep_points_planned_total so dashboards can show progress
+// (points_total / points_planned_total). A no-op until EnableSolverMetrics.
+func RecordSweepStart(n int) {
+	m := wire.sweep
+	if m == nil || n <= 0 {
+		return
+	}
+	m.planned.Add(int64(n))
 }
 
 // RecordSweepPoint feeds the qs_sweep_* families with one finished sweep

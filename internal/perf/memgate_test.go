@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func memRecord(wall float64, rss, arenaHi int64) Record {
+	return Record{
+		Time: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC).Format(time.RFC3339),
+		Nu:   14, Method: "power",
+		WallSeconds:          wall,
+		PeakRSSBytes:         rss,
+		ArenaHighWaterFloats: arenaHi,
+	}
+}
+
+// TestGateFlagsMemoryRegressions: peak RSS and arena high-water gate like
+// wall time, in both share and absolute mode.
+func TestGateFlagsMemoryRegressions(t *testing.T) {
+	base := memRecord(1.0, 1<<30, 1<<20)
+	cur := memRecord(1.0, 2<<30, 3<<20) // +100% RSS, +200% arena
+
+	for _, abs := range []bool{false, true} {
+		vs := Gate(base, cur, GateOptions{Threshold: 0.25, AbsoluteSeconds: abs})
+		got := map[string]bool{}
+		for _, v := range vs {
+			got[v.Layer+"/"+v.Name] = true
+			if v.Layer == "mem" && v.GrowthPct < 99 {
+				t.Errorf("mem violation growth = %.1f%%, want ≥ 99%%: %s", v.GrowthPct, v)
+			}
+		}
+		if !got["mem/peak_rss"] || !got["mem/arena_highwater"] {
+			t.Fatalf("abs=%v: missing memory violations in %v", abs, vs)
+		}
+	}
+}
+
+// TestGateMemoryWithinThresholdPasses: growth inside the threshold does
+// not flag.
+func TestGateMemoryWithinThresholdPasses(t *testing.T) {
+	base := memRecord(1.0, 1000, 1000)
+	cur := memRecord(1.0, 1200, 1249) // +20%, +24.9% under a 25% threshold
+	if vs := Gate(base, cur, GateOptions{Threshold: 0.25}); len(vs) != 0 {
+		t.Fatalf("within-threshold growth flagged: %v", vs)
+	}
+}
+
+// TestGateIgnoresRecordsWithoutMemoryFields: ledger entries from before the
+// fields existed (zero on either side) never flag, so a new baseline can be
+// compared against an old ledger.
+func TestGateIgnoresRecordsWithoutMemoryFields(t *testing.T) {
+	cases := []struct{ baseRSS, curRSS, baseHi, curHi int64 }{
+		{0, 5 << 30, 0, 5 << 20}, // old baseline, new current
+		{1 << 20, 0, 1 << 10, 0}, // new baseline, old current
+		{0, 0, 0, 0},             // neither side instrumented
+	}
+	for _, c := range cases {
+		base := memRecord(1.0, c.baseRSS, c.baseHi)
+		cur := memRecord(1.0, c.curRSS, c.curHi)
+		for _, v := range Gate(base, cur, GateOptions{Threshold: 0.25}) {
+			if v.Layer == "mem" {
+				t.Fatalf("uninstrumented record flagged: %s (base %+v cur %+v)", v, base, cur)
+			}
+		}
+	}
+}
+
+// TestLedgerRoundTripsMemoryFields: the new fields survive the JSONL
+// ledger, and absent fields stay zero (omitempty on write).
+func TestLedgerRoundTripsMemoryFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := Append(path, memRecord(2.5, 123456789, 42_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, memRecord(2.5, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	if recs[0].PeakRSSBytes != 123456789 || recs[0].ArenaHighWaterFloats != 42_000_000 {
+		t.Fatalf("round trip lost fields: %+v", recs[0])
+	}
+	if recs[1].PeakRSSBytes != 0 || recs[1].ArenaHighWaterFloats != 0 {
+		t.Fatalf("zero fields came back nonzero: %+v", recs[1])
+	}
+}

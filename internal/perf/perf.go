@@ -71,6 +71,14 @@ type Record struct {
 	// degraded (paranoid denial, no PMU, non-Linux).
 	HWCActive bool   `json:"hwc_active,omitempty"`
 	HWCReason string `json:"hwc_reason,omitempty"`
+
+	// Memory footprint of the measurement process, stamped after the last
+	// rep: peak RSS (VmHWM, zero when procfs is unavailable) and the
+	// device-arena occupancy high-water in float64s. Gated like wall time
+	// but only when both records carry the field — old ledger entries
+	// without it never flag.
+	PeakRSSBytes         int64 `json:"rss_peak_bytes,omitempty"`
+	ArenaHighWaterFloats int64 `json:"arena_highwater_floats,omitempty"`
 }
 
 // DefaultLedgerPath is where the repo keeps its committed baseline ledger.
@@ -273,6 +281,25 @@ func Gate(base, cur Record, opts GateOptions) []Violation {
 			Layer: "total", Name: "wall", Metric: "seconds",
 			Base: base.WallSeconds, Cur: cur.WallSeconds,
 			GrowthPct: growthPct(base.WallSeconds, cur.WallSeconds),
+		})
+	}
+	// Memory regressions gate in both modes: a fixed workload's peak RSS and
+	// arena high-water are machine-comparable the way shares are. Records
+	// from before the fields existed (either side zero) never flag.
+	if base.PeakRSSBytes > 0 && cur.PeakRSSBytes > 0 &&
+		float64(cur.PeakRSSBytes) > float64(base.PeakRSSBytes)*(1+opts.Threshold) {
+		out = append(out, Violation{
+			Layer: "mem", Name: "peak_rss", Metric: "bytes",
+			Base: float64(base.PeakRSSBytes), Cur: float64(cur.PeakRSSBytes),
+			GrowthPct: growthPct(float64(base.PeakRSSBytes), float64(cur.PeakRSSBytes)),
+		})
+	}
+	if base.ArenaHighWaterFloats > 0 && cur.ArenaHighWaterFloats > 0 &&
+		float64(cur.ArenaHighWaterFloats) > float64(base.ArenaHighWaterFloats)*(1+opts.Threshold) {
+		out = append(out, Violation{
+			Layer: "mem", Name: "arena_highwater", Metric: "floats",
+			Base: float64(base.ArenaHighWaterFloats), Cur: float64(cur.ArenaHighWaterFloats),
+			GrowthPct: growthPct(float64(base.ArenaHighWaterFloats), float64(cur.ArenaHighWaterFloats)),
 		})
 	}
 	return out
